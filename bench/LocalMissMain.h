@@ -1,0 +1,64 @@
+//===- LocalMissMain.h - Shared main for the §7 local-miss figures -*- C++ -*-===//
+//
+// Part of the gcache project (Reinhold, PLDI 1994 reproduction).
+// Figures 5-8 are the same analysis applied to different programs and
+// cache sizes; each bench binary supplies its parameters and calls
+// localMissFigureMain.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef GCACHE_BENCH_LOCALMISSMAIN_H
+#define GCACHE_BENCH_LOCALMISSMAIN_H
+
+#include "BenchCommon.h"
+
+#include "gcache/analysis/LocalMissStats.h"
+
+namespace gcache {
+
+/// Runs \p DefaultWorkload (no GC) against one per-block-tracked cache of
+/// \p CacheBytes with 64-byte blocks and prints the §7 cache-activity
+/// curves: per-cache-block local miss ratios in ascending reference-count
+/// order, cumulative miss/reference fractions, and the cumulative miss
+/// ratio with its final best-case drop.
+inline int localMissFigureMain(int Argc, char **Argv, const char *Id,
+                               const char *DefaultWorkload,
+                               uint32_t CacheBytes, const char *Expected) {
+  BenchArgs A = parseBenchArgs(Argc, Argv);
+  std::string Name = A.Workload.empty() ? DefaultWorkload : A.Workload;
+  benchHeader(Id,
+              ("per-cache-block activity, " + Name + ", " +
+               fmtSize(CacheBytes) + "/64b, no GC")
+                  .c_str(),
+              A);
+  const Workload *W = findWorkload(Name);
+  if (!W) {
+    std::fprintf(stderr, "unknown workload %s\n", Name.c_str());
+    return 1;
+  }
+
+  CacheConfig Config;
+  Config.SizeBytes = CacheBytes;
+  Config.BlockBytes = 64;
+  Config.TrackPerBlockStats = true;
+  Cache Sim(Config);
+
+  ExperimentOptions Opts;
+  Opts.Scale = A.Scale;
+  Opts.Grid = CacheGridKind::None;
+  Opts.ExtraSinks = {&Sim};
+  ProgramRun Run = runProgram(*W, Opts);
+
+  LocalMissCurves Curves = computeLocalMissCurves(Sim);
+  std::printf("%s: %s refs\n\n", Run.Name.c_str(),
+              fmtCount(Run.TotalRefs).c_str());
+  std::fputs(renderLocalMissTable(Curves, 16).c_str(), stdout);
+  std::printf("bad blocks (local miss ratio > 0.25): %zu of %zu\n",
+              Curves.countAbove(0.25), Curves.Points.size());
+  std::printf("\nExpected: %s\n", Expected);
+  return 0;
+}
+
+} // namespace gcache
+
+#endif // GCACHE_BENCH_LOCALMISSMAIN_H

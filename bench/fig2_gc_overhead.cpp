@@ -1,0 +1,82 @@
+//===- fig2_gc_overhead.cpp - §6 collector-overhead figure --------------------===//
+//
+// Regenerates the §6 figure: garbage-collection overhead O_gc =
+// ((M_gc + ΔM_prog)·P + I_gc + ΔI_prog) / I_prog for the test programs
+// run with the Cheney semispace collector, against cache size, with
+// 64-byte blocks, for both processors. Each program runs twice per data
+// point set: once without collection (the control baseline for ΔM_prog)
+// and once with the collector; the single pass simulates all cache sizes.
+//
+// Expected shape (paper):
+//  - orbit/nbody/gambit: low overheads (slow <4%, fast up to ~8%);
+//  - nbody: negative overheads in mid-size caches, where the collector
+//    happens to break up thrashing blocks;
+//  - imps: highly variable (thrashing-dependent);
+//  - lp: uniformly >=40% — the monotonically growing live structure makes
+//    each successive collection copy more.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace gcache;
+
+int main(int Argc, char **Argv) {
+  BenchArgs A = parseBenchArgs(Argc, Argv);
+  benchHeader("Figure 2 (§6)",
+              "garbage-collection overhead with the Cheney collector "
+              "(64-byte blocks, scaled semispaces)",
+              A);
+
+  std::vector<const Workload *> Ws = selectWorkloads(A);
+  std::vector<ProgramRun> Controls, GcRuns;
+  for (const Workload *W : Ws) {
+    ExperimentOptions Ctrl;
+    Ctrl.Scale = A.Scale;
+    Ctrl.Grid = CacheGridKind::SizeSweep;
+    std::printf("running %s (control)...\n", W->Name.c_str());
+    Controls.push_back(runProgram(*W, Ctrl));
+
+    ExperimentOptions Gc = Ctrl;
+    Gc.Gc = GcKind::Cheney;
+    Gc.SemispaceBytes = semispaceFor(Controls.back());
+    std::printf("running %s (cheney, %s semispaces)...\n", W->Name.c_str(),
+                fmtSize(Gc.effectiveSemispace()).c_str());
+    GcRuns.push_back(runProgram(*W, Gc));
+  }
+
+  for (const Machine &M : {slowMachine(), fastMachine()}) {
+    std::printf("\n--- %s processor: O_gc by cache size ---\n",
+                M.Processor.Name.c_str());
+    std::vector<std::string> Header = {"program"};
+    for (uint32_t Size : paperCacheSizes())
+      Header.push_back(fmtSize(Size));
+    Header.push_back("collections");
+    Table T(Header);
+    for (size_t I = 0; I != Ws.size(); ++I) {
+      std::vector<std::string> Row = {Ws[I]->Name};
+      for (uint32_t Size : paperCacheSizes()) {
+        const Cache *GcC = GcRuns[I].Bank->find(Size, 64);
+        const Cache *CtC = Controls[I].Bank->find(Size, 64);
+        double O = gcOverhead(gcInputsFor(*GcC, *CtC, GcRuns[I], M));
+        Row.push_back(fmtPercent(O));
+      }
+      Row.push_back(std::to_string(GcRuns[I].Collections));
+      T.addRow(Row);
+    }
+    printTable(T, A);
+  }
+
+  std::printf("\n--- collector activity ---\n");
+  Table G({"program", "collections", "objects copied", "words copied",
+           "I_gc", "dI_prog (rehash)"});
+  for (size_t I = 0; I != Ws.size(); ++I) {
+    const GcStats &S = GcRuns[I].Stats.Gc;
+    G.addRow({Ws[I]->Name, std::to_string(S.Collections),
+              fmtCount(S.ObjectsCopied), fmtCount(S.WordsCopied),
+              fmtCount(S.Instructions),
+              fmtCount(GcRuns[I].Stats.ExtraInstructions)});
+  }
+  printTable(G, A);
+  return 0;
+}

@@ -1,0 +1,55 @@
+//===- fig3_missplot.cpp - §7 cache-miss plot ---------------------------------===//
+//
+// Regenerates the §7 cache-miss plot for orbit in a 64 KB direct-mapped
+// cache with 64-byte blocks: a dot where at least one miss occurred in a
+// cache block during a 1024-reference interval. Linear allocation shows
+// as broken diagonal sweep lines; thrashing busy blocks would show as
+// horizontal stripes. The full-resolution plot is written as a PGM image;
+// a downsampled ASCII rendering is printed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "gcache/analysis/MissPlot.h"
+
+#include <fstream>
+
+using namespace gcache;
+
+int main(int Argc, char **Argv) {
+  BenchArgs A = parseBenchArgs(Argc, Argv);
+  std::string Name = A.Workload.empty() ? "orbit" : A.Workload;
+  benchHeader("Figure 3 (§7)",
+              ("cache-miss plot, " + Name + ", 64kb/64b").c_str(), A);
+  const Workload *W = findWorkload(Name);
+  if (!W) {
+    std::fprintf(stderr, "unknown workload %s\n", Name.c_str());
+    return 1;
+  }
+
+  CacheConfig Config;
+  Config.SizeBytes = 64 << 10;
+  Config.BlockBytes = 64;
+  MissPlot Plot(Config);
+
+  ExperimentOptions Opts;
+  Opts.Scale = A.Scale;
+  Opts.Grid = CacheGridKind::None;
+  Opts.ExtraSinks = {&Plot};
+  ProgramRun Run = runProgram(*W, Opts);
+
+  std::printf("%s: %s refs, %llu time columns, fill %.3f\n\n",
+              Run.Name.c_str(), fmtCount(Run.TotalRefs).c_str(),
+              static_cast<unsigned long long>(Plot.columns()),
+              Plot.fillFraction());
+  std::fputs(Plot.renderAscii(96, 32).c_str(), stdout);
+
+  std::string PgmPath = A.Opts.get("pgm", "missplot_" + Name + ".pgm");
+  std::ofstream Out(PgmPath, std::ios::binary);
+  Out << Plot.renderPgm();
+  std::printf("\nfull-resolution plot written to %s\n", PgmPath.c_str());
+  std::printf("Expected shape: broken diagonals (the allocation pointer "
+              "sweeping the cache), slope tracking the allocation rate.\n");
+  return 0;
+}

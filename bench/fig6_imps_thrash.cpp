@@ -1,0 +1,11 @@
+//===- fig6_imps_thrash.cpp - §7 cache activity, imps at 64 KB ----------------===//
+
+#include "LocalMissMain.h"
+
+int main(int Argc, char **Argv) {
+  return gcache::localMissFigureMain(
+      Argc, Argv, "Figure 6 (§7)", "imps", 64 << 10,
+      "imps can thrash in a 64 KB cache: a jump in the cumulative miss "
+      "ratio from a single cache block where two busy blocks alternate "
+      "(a high local miss ratio among the most-referenced blocks).");
+}

@@ -1,0 +1,43 @@
+//===- table2_penalties.cpp - §5 miss-penalty table ---------------------------===//
+//
+// Regenerates the §5 miss-penalty table from the Przybylski main-memory
+// model (30 ns setup + 180 ns access + 30 ns per 16 bytes): penalties in
+// processor cycles for each block size on the slow (33 MHz) and fast
+// (500 MHz) machines. These are exact closed-form values, so they must
+// match the paper's numbers exactly:
+//
+//   Block size (bytes)      16   32   64  128  256
+//   Slow penalty (cycles)    8    9   11   15   23
+//   Fast penalty           120  135  165  225  345
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace gcache;
+
+int main(int Argc, char **Argv) {
+  BenchArgs A = parseBenchArgs(Argc, Argv);
+  benchHeader("Table 2 (§5)", "miss penalties per block size", A);
+
+  Machine Slow = slowMachine();
+  Machine Fast = fastMachine();
+
+  std::vector<std::string> Header = {"block size (bytes)"};
+  std::vector<std::string> NsRow = {"penalty (ns)"};
+  std::vector<std::string> SlowRow = {"slow penalty (cycles)"};
+  std::vector<std::string> FastRow = {"fast penalty (cycles)"};
+  for (uint32_t B : paperBlockSizes()) {
+    Header.push_back(std::to_string(B));
+    NsRow.push_back(std::to_string(Slow.Memory.missPenaltyNs(B)));
+    SlowRow.push_back(std::to_string(Slow.penaltyCycles(B)));
+    FastRow.push_back(std::to_string(Fast.penaltyCycles(B)));
+  }
+  Table T(Header);
+  T.addRow(NsRow);
+  T.addRow(SlowRow);
+  T.addRow(FastRow);
+  printTable(T, A);
+  std::printf("\nPaper values: slow 8/9/11/15/23, fast 120/135/165/225/345.\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+//===- missplot_art.cpp - Watch the allocation wave sweep the cache ------------===//
+//
+// Example: renders the §7 cache-miss plot for any workload and cache
+// geometry as ASCII art and a PGM image. The "allocation wave" of linear
+// allocation appears as broken diagonals; colliding busy blocks appear as
+// horizontal stripes.
+//
+// Usage: missplot_art [--workload nbody] [--cache-kb 64] [--block 64]
+//                     [--scale 0.15] [--gc cheney]
+//
+//===----------------------------------------------------------------------===//
+
+#include "gcache/analysis/MissPlot.h"
+#include "gcache/core/Experiment.h"
+#include "gcache/support/Options.h"
+#include "gcache/support/Table.h"
+
+#include <cstdio>
+#include <fstream>
+
+using namespace gcache;
+
+int main(int Argc, char **Argv) {
+  Options Opts = Options::parse(Argc, Argv);
+  std::string Name = Opts.get("workload", "nbody");
+  double Scale = Opts.getDouble("scale", 0.15);
+  uint32_t CacheKb = static_cast<uint32_t>(Opts.getInt("cache-kb", 64));
+  uint32_t Block = static_cast<uint32_t>(Opts.getInt("block", 64));
+  std::string GcName = Opts.get("gc", "none");
+
+  const Workload *W = findWorkload(Name);
+  if (!W) {
+    std::fprintf(stderr, "unknown workload '%s'\n", Name.c_str());
+    return 1;
+  }
+
+  CacheConfig Config;
+  Config.SizeBytes = CacheKb << 10;
+  Config.BlockBytes = Block;
+  if (!Config.isValid()) {
+    std::fprintf(stderr, "invalid cache geometry %u KB / %u B\n", CacheKb,
+                 Block);
+    return 1;
+  }
+  MissPlot Plot(Config);
+
+  ExperimentOptions O;
+  O.Scale = Scale;
+  O.Grid = CacheGridKind::None;
+  O.Gc = GcName == "cheney"         ? GcKind::Cheney
+         : GcName == "generational" ? GcKind::Generational
+                                    : GcKind::None;
+  O.ExtraSinks = {&Plot};
+  ProgramRun Run = runProgram(*W, O);
+
+  std::printf("%s in %s/%s (%s, %s refs, %llu collections)\n\n",
+              Name.c_str(), fmtSize(Config.SizeBytes).c_str(),
+              fmtSize(Block).c_str(), GcName.c_str(),
+              fmtCount(Run.TotalRefs).c_str(),
+              static_cast<unsigned long long>(Run.Collections));
+  std::fputs(Plot.renderAscii(110, 40).c_str(), stdout);
+
+  std::string Path = "missplot_" + Name + "_" + GcName + ".pgm";
+  std::ofstream Out(Path, std::ios::binary);
+  Out << Plot.renderPgm();
+  std::printf("\nfull resolution: %s (fill %.4f)\n", Path.c_str(),
+              Plot.fillFraction());
+  return 0;
+}

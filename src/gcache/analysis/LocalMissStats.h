@@ -1,0 +1,63 @@
+//===- LocalMissStats.h - Per-cache-block miss-ratio analysis ---*- C++ -*-===//
+//
+// Part of the gcache project (Reinhold, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The §7 "from behavior to performance" graphs: cache blocks arranged in
+/// ascending reference-count order, with each block's *local* miss ratio,
+/// the cumulative distributions of misses and references, and the running
+/// cumulative miss ratio whose final value is the cache's global miss
+/// ratio. Following the paper, misses here exclude write-validate
+/// allocation misses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCACHE_ANALYSIS_LOCALMISSSTATS_H
+#define GCACHE_ANALYSIS_LOCALMISSSTATS_H
+
+#include "gcache/memsys/Cache.h"
+
+#include <string>
+#include <vector>
+
+namespace gcache {
+
+/// One cache block's row in reference-count order.
+struct LocalBlockPoint {
+  uint32_t BlockIndex = 0;   ///< Cache block (set) index.
+  uint64_t Refs = 0;
+  uint64_t Misses = 0;       ///< Fetch misses (allocation misses excluded).
+  double LocalMissRatio = 0; ///< Misses / Refs for this block.
+  double CumMissFraction = 0;
+  double CumRefFraction = 0;
+  double CumMissRatio = 0;   ///< Miss ratio over blocks up to this point.
+};
+
+/// Computed curves for one cache.
+struct LocalMissCurves {
+  std::vector<LocalBlockPoint> Points; ///< Ascending reference count.
+  double GlobalMissRatio = 0;          ///< Endpoint of the cumulative curve.
+  double PeakCumMissRatio = 0;         ///< Max of the cumulative curve.
+  /// Factor by which the most-referenced (best-case) blocks pull the
+  /// cumulative miss ratio down from its peak (orbit/64kb: ~1.6 in the
+  /// paper).
+  double finalDropFactor() const {
+    return GlobalMissRatio > 0 ? PeakCumMissRatio / GlobalMissRatio : 0;
+  }
+  /// Number of blocks with local miss ratio above \p Threshold.
+  size_t countAbove(double Threshold) const;
+};
+
+/// Builds the curves from a cache simulated with per-block stats enabled.
+LocalMissCurves computeLocalMissCurves(const Cache &Sim);
+
+/// Renders a sampled table of the curves (for the bench binaries):
+/// \p Samples rows evenly spaced in block-rank order plus the endpoint.
+std::string renderLocalMissTable(const LocalMissCurves &Curves,
+                                 uint32_t Samples = 16);
+
+} // namespace gcache
+
+#endif // GCACHE_ANALYSIS_LOCALMISSSTATS_H

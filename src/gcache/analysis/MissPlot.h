@@ -1,0 +1,63 @@
+//===- MissPlot.h - Time x cache-block miss plots ---------------*- C++ -*-===//
+//
+// Part of the gcache project (Reinhold, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The §7 cache-miss plot: a dot at (x, y) when at least one miss occurred
+/// in cache block y during the x-th 1024-reference interval. On such a
+/// plot linear allocation appears as broken diagonal lines — the
+/// allocation pointer sweeping the cache — and thrashing busy blocks as
+/// horizontal stripes. Rendered as ASCII art (downsampled) or PGM.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCACHE_ANALYSIS_MISSPLOT_H
+#define GCACHE_ANALYSIS_MISSPLOT_H
+
+#include "gcache/memsys/Cache.h"
+
+#include <string>
+#include <vector>
+
+namespace gcache {
+
+/// TraceSink owning a cache and recording when/where misses occur.
+class MissPlot final : public TraceSink {
+public:
+  /// \p RefsPerColumn is the paper's 1024-reference time bucket.
+  explicit MissPlot(const CacheConfig &Config, uint32_t RefsPerColumn = 1024);
+
+  void onRef(const Ref &R) override;
+
+  const Cache &cache() const { return Sim; }
+  uint64_t columns() const { return Columns.size(); }
+
+  /// Whether any miss hit (column, cache block).
+  bool missedAt(uint64_t Column, uint32_t Block) const;
+
+  /// ASCII rendering downsampled to at most MaxCols x MaxRows characters;
+  /// '*' marks a miss cell, '.' none. Row 0 is cache block 0 (top).
+  std::string renderAscii(uint32_t MaxCols = 96, uint32_t MaxRows = 32) const;
+
+  /// Binary PGM (P5) image, one pixel per (column, block).
+  std::string renderPgm() const;
+
+  /// Fraction of plot cells containing at least one miss.
+  double fillFraction() const;
+
+private:
+  std::vector<uint8_t> &currentColumn();
+
+  Cache Sim;
+  uint32_t RefsPerColumn;
+  uint32_t NumBlocks;
+  uint64_t RefsSeen = 0;
+  /// One bitset (byte per block for simplicity) per time column.
+  std::vector<std::vector<uint8_t>> Columns;
+};
+
+} // namespace gcache
+
+#endif // GCACHE_ANALYSIS_MISSPLOT_H

@@ -1,0 +1,114 @@
+//===- Experiment.cpp - The paper's experiment drivers ----------------------===//
+
+#include "gcache/core/Experiment.h"
+
+#include "gcache/trace/Sinks.h"
+
+#include <algorithm>
+
+using namespace gcache;
+
+uint32_t ExperimentOptions::effectiveSemispace() const {
+  if (SemispaceBytes)
+    return SemispaceBytes;
+  double Scaled = Scale * (16.0 * 1024 * 1024) / 4.0;
+  return std::max<uint32_t>(2u << 20, static_cast<uint32_t>(Scaled));
+}
+
+ProgramRun gcache::runProgram(const Workload &W,
+                              const ExperimentOptions &Opts) {
+  ProgramRun Run;
+  Run.Name = W.Name;
+
+  auto Bank = std::make_unique<CacheBank>();
+  CacheConfig Prototype;
+  Prototype.WriteMiss = Opts.WriteMiss;
+  Prototype.TrackPerBlockStats = Opts.PerBlockStats;
+  switch (Opts.Grid) {
+  case CacheGridKind::PaperGrid:
+    Bank->addPaperGrid(Prototype);
+    break;
+  case CacheGridKind::SizeSweep:
+    Bank->addSizeSweep(Prototype, Opts.SweepBlockBytes);
+    break;
+  case CacheGridKind::None:
+    break;
+  }
+  if (Opts.AlsoOppositePolicy) {
+    CacheConfig Opposite = Prototype;
+    Opposite.WriteMiss = Opts.WriteMiss == WriteMissPolicy::WriteValidate
+                             ? WriteMissPolicy::FetchOnWrite
+                             : WriteMissPolicy::WriteValidate;
+    if (Opts.Grid == CacheGridKind::PaperGrid)
+      Bank->addPaperGrid(Opposite);
+    else if (Opts.Grid == CacheGridKind::SizeSweep)
+      Bank->addSizeSweep(Opposite, Opts.SweepBlockBytes);
+  }
+
+  CountingSink Counts;
+  TraceBus Bus;
+  Bus.addSink(&Counts);
+  if (Bank->size())
+    Bus.addSink(Bank.get());
+  for (TraceSink *S : Opts.ExtraSinks)
+    Bus.addSink(S);
+
+  SchemeSystemConfig SysConfig;
+  SysConfig.Gc = Opts.Gc;
+  SysConfig.SemispaceBytes = Opts.effectiveSemispace();
+  SysConfig.Generational = Opts.Generational;
+  if (SysConfig.Generational.OldSemispaceBytes == 0)
+    SysConfig.Generational.OldSemispaceBytes = Opts.effectiveSemispace();
+  SysConfig.Bus = &Bus;
+  SysConfig.LayoutSeed = Opts.LayoutSeed;
+  SchemeSystem Sys(SysConfig);
+
+  Sys.loadDefinitions(W.Definitions);
+  Sys.run(W.RunExpr(Opts.Scale));
+
+  Run.Stats = Sys.lastRunStats();
+  Run.TotalRefs = Counts.totalRefs();
+  Run.MutatorRefs = Counts.mutatorRefs();
+  Run.AllocBytes = Counts.allocatedBytes();
+  Run.Collections = Counts.collections();
+  Run.Output = Sys.vm().output();
+  Run.RuntimeVectorAddr = Sys.vm().runtimeVectorAddr();
+  Run.StaticBytes = Sys.heap().staticFrontier() - Heap::StaticBase;
+  Run.Bank = std::move(Bank);
+  return Run;
+}
+
+Machine gcache::slowMachine() { return {MemoryTiming(), ProcessorModel::slow()}; }
+Machine gcache::fastMachine() { return {MemoryTiming(), ProcessorModel::fast()}; }
+
+double gcache::controlOverhead(const Cache &Sim, const ProgramRun &Run,
+                               const Machine &M) {
+  uint64_t Penalty = M.penaltyCycles(Sim.config().BlockBytes);
+  return cacheOverhead(Sim.counters(Phase::Mutator).FetchMisses, Penalty,
+                       Run.Stats.Instructions);
+}
+
+GcOverheadInputs gcache::gcInputsFor(const Cache &GcCache,
+                                     const Cache &ControlCache,
+                                     const ProgramRun &GcRun,
+                                     const Machine &M) {
+  GcOverheadInputs In;
+  In.CollectorFetchMisses = GcCache.counters(Phase::Collector).FetchMisses;
+  In.MutatorFetchMissesWithGc = GcCache.counters(Phase::Mutator).FetchMisses;
+  In.MutatorFetchMissesControl =
+      ControlCache.counters(Phase::Mutator).FetchMisses;
+  In.CollectorInstructions = GcRun.Stats.Gc.Instructions;
+  In.ExtraMutatorInstructions = GcRun.Stats.ExtraInstructions;
+  // I_prog: the program's own instructions, net of collector-caused work.
+  In.MutatorInstructions =
+      GcRun.Stats.Instructions - GcRun.Stats.ExtraInstructions;
+  In.PenaltyCycles = M.penaltyCycles(GcCache.config().BlockBytes);
+  return In;
+}
+
+double gcache::writeOverheadFor(const Cache &Sim, const ProgramRun &Run,
+                                const Machine &M) {
+  uint64_t Wb = Sim.totalCounters().Writebacks;
+  uint64_t Ns = M.Memory.writebackNs(Sim.config().BlockBytes);
+  return writeOverhead(Wb, Ns, M.Processor.CycleNs, Run.Stats.Instructions);
+}

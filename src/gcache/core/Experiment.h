@@ -1,0 +1,109 @@
+//===- Experiment.h - The paper's experiment drivers ------------*- C++ -*-===//
+//
+// Part of the gcache project (Reinhold, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The reusable core of the paper: run a workload on the Scheme system
+/// under a chosen collector while simulating a bank of cache
+/// configurations and any extra analysis sinks in a single pass, then
+/// evaluate the §5/§6 overhead metrics against the slow and fast
+/// processor models.
+///
+/// Typical use (the control experiment of §5):
+/// \code
+///   ExperimentOptions Opts;                 // no GC, paper cache grid
+///   ProgramRun Run = runProgram(orbitWorkload(), Opts);
+///   const Cache *C = Run.Bank->find(64 << 10, 64);
+///   double O = controlOverhead(*C, Run, slowMachine());
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCACHE_CORE_EXPERIMENT_H
+#define GCACHE_CORE_EXPERIMENT_H
+
+#include "gcache/gc/GenerationalCollector.h"
+#include "gcache/memsys/CacheBank.h"
+#include "gcache/memsys/Overhead.h"
+#include "gcache/vm/SchemeSystem.h"
+#include "gcache/workloads/Workload.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace gcache {
+
+/// Which cache configurations a run simulates.
+enum class CacheGridKind : uint8_t {
+  PaperGrid, ///< All §4 sizes x all block sizes (the §5 control figure).
+  SizeSweep, ///< All sizes at one block size (the §6 figure uses 64 B).
+  None,      ///< No caches (behaviour-analysis-only runs).
+};
+
+/// Options for one measured program run.
+struct ExperimentOptions {
+  double Scale = 0.3;
+  GcKind Gc = GcKind::None;
+  /// 0 = scale the paper's 16 MB semispaces with Scale (min 2 MB).
+  uint32_t SemispaceBytes = 0;
+  GenerationalConfig Generational{512 * 1024, 0 /* set from semispace */};
+  CacheGridKind Grid = CacheGridKind::PaperGrid;
+  uint32_t SweepBlockBytes = 64;
+  WriteMissPolicy WriteMiss = WriteMissPolicy::WriteValidate;
+  /// Also simulate every grid config under the opposite write-miss policy
+  /// (one pass feeds both, for the §5 write-policy comparison).
+  bool AlsoOppositePolicy = false;
+  /// Track per-cache-block stats on every cache (local-miss figures).
+  bool PerBlockStats = false;
+  /// Additional sinks to attach to the trace bus (analysis).
+  std::vector<TraceSink *> ExtraSinks;
+  /// Static-layout scatter seed (0 = default layout); see ext2_layout.
+  uint64_t LayoutSeed = 0;
+
+  /// Effective semispace size after scaling.
+  uint32_t effectiveSemispace() const;
+};
+
+/// Everything measured in one program run.
+struct ProgramRun {
+  std::string Name;
+  RunStats Stats;            ///< Instructions, ΔI, allocation, GC activity.
+  uint64_t TotalRefs = 0;
+  uint64_t MutatorRefs = 0;
+  uint64_t AllocBytes = 0;
+  uint64_t Collections = 0;
+  std::string Output;        ///< The program's checksum line(s).
+  Address RuntimeVectorAddr = 0;
+  uint32_t StaticBytes = 0;
+  std::unique_ptr<CacheBank> Bank;
+};
+
+/// Loads \p W into a fresh Scheme system configured per \p Opts, executes
+/// the measured run, and returns the results (including the cache bank).
+ProgramRun runProgram(const Workload &W, const ExperimentOptions &Opts);
+
+/// The paper's two machines.
+Machine slowMachine();
+Machine fastMachine();
+
+/// O_cache of one simulated cache for a (control) run: mutator fetch
+/// misses charged at the cache's block-size penalty.
+double controlOverhead(const Cache &Sim, const ProgramRun &Run,
+                       const Machine &M);
+
+/// O_gc inputs for one cache size: the collector's misses and the
+/// program's miss delta come from \p GcCache (a cache simulated during
+/// the collected run) vs \p ControlCache (same geometry, control run).
+GcOverheadInputs gcInputsFor(const Cache &GcCache, const Cache &ControlCache,
+                             const ProgramRun &GcRun, const Machine &M);
+
+/// Write overhead (write-back traffic) of one cache for a run.
+double writeOverheadFor(const Cache &Sim, const ProgramRun &Run,
+                        const Machine &M);
+
+} // namespace gcache
+
+#endif // GCACHE_CORE_EXPERIMENT_H

@@ -1,0 +1,127 @@
+//===- CheneyCollector.cpp - Compacting semispace collector ----------------===//
+
+#include "gcache/gc/CheneyCollector.h"
+
+#include "gcache/trace/Sinks.h"
+
+using namespace gcache;
+
+CheneyCollector::CheneyCollector(Heap &H, MutatorContext &Mutator,
+                                 uint32_t SemispaceBytes)
+    : Collector(H, Mutator), SemiBytes(SemispaceBytes) {
+  if (SemispaceBytes % 4 != 0 || SemispaceBytes == 0)
+    fatalGcError("semispace size %u is not a positive multiple of 4",
+                 SemispaceBytes);
+  FromBase = Heap::DynamicBase;
+  ToBase = Heap::DynamicBase + SemiBytes;
+  H.setDynamicFrontier(FromBase);
+  H.setDynamicLimit(FromBase + SemiBytes);
+}
+
+Address CheneyCollector::allocate(uint32_t Words) {
+  if (H.dynamicWordsLeft() < Words) {
+    collect();
+    if (H.dynamicWordsLeft() < Words)
+      fatalGcError("semispace exhausted: %u words requested, %u free; "
+                   "increase the semispace size",
+                   Words, H.dynamicWordsLeft());
+  }
+  return H.allocDynamicRaw(Words);
+}
+
+Value CheneyCollector::forward(Value V) {
+  if (!V.isPointer())
+    return V;
+  Address A = V.asPointer();
+  if (!inFromSpace(A))
+    return V; // Static objects (and already-copied to-space objects).
+
+  uint32_t Header = H.load(A);
+  Stats.Instructions += gccost::Forward;
+  if (isForwardedHeader(Header))
+    return Value::pointer(forwardTarget(Header));
+
+  uint32_t Words = headerObjectWords(Header);
+  Address NewA = FreePtr;
+  // Copy the object word by word (the header was already loaded).
+  H.store(NewA, Header);
+  for (uint32_t I = 1; I != Words; ++I)
+    H.store(NewA + I * 4, H.load(A + I * 4));
+  Stats.Instructions += gccost::CopyWord * Words;
+  FreePtr += Words * 4;
+  H.store(A, makeForwardHeader(NewA));
+  ++Stats.ObjectsCopied;
+  Stats.WordsCopied += Words;
+  return Value::pointer(NewA);
+}
+
+void CheneyCollector::forwardSlotsAt(Address ObjAddr, uint32_t Header) {
+  uint32_t First, Count;
+  objectValueSlots(headerTag(Header), headerPayloadWords(Header), First,
+                   Count);
+  for (uint32_t I = First; I != First + Count; ++I) {
+    Address Slot = ObjAddr + 4 + I * 4;
+    Value V = H.loadValue(Slot);
+    Stats.Instructions += gccost::ScanSlot;
+    if (V.isPointer() && inFromSpace(V.asPointer()))
+      H.storeValue(Slot, forward(V));
+  }
+}
+
+void CheneyCollector::scanStaticArea() {
+  Address A = Heap::StaticBase;
+  Address End = H.staticFrontier();
+  while (A < End) {
+    uint32_t Header = H.load(A);
+    Stats.Instructions += gccost::ScanSlot;
+    forwardSlotsAt(A, Header);
+    A += headerObjectWords(Header) * 4;
+  }
+}
+
+void CheneyCollector::collect() {
+  ++Stats.Collections;
+  ++Stats.MajorCollections;
+  Stats.Instructions += gccost::Setup;
+  H.setPhase(Phase::Collector);
+  if (TraceSink *Bus = H.traceBus())
+    Bus->onGcBegin();
+
+  H.ensureDynamicBacked(ToBase + SemiBytes);
+  FreePtr = ToBase;
+  Address ScanPtr = ToBase;
+
+  // Roots: host registers (untraced slots; forwarding itself is traced),
+  // the simulated value stack, and the static area.
+  Mutator.forEachHostRoot([&](Value &V) {
+    Stats.Instructions += gccost::ScanSlot;
+    V = forward(V);
+  });
+  for (uint32_t Slot = 0, E = Mutator.liveStackWords(); Slot != E; ++Slot) {
+    Address A = H.stackSlotAddr(Slot);
+    Value V = H.loadValue(A);
+    Stats.Instructions += gccost::ScanSlot;
+    if (V.isPointer() && inFromSpace(V.asPointer()))
+      H.storeValue(A, forward(V));
+  }
+  scanStaticArea();
+
+  // Breadth-first scan of copied objects.
+  while (ScanPtr < FreePtr) {
+    uint32_t Header = H.load(ScanPtr);
+    Stats.Instructions += gccost::ScanSlot;
+    forwardSlotsAt(ScanPtr, Header);
+    ScanPtr += headerObjectWords(Header) * 4;
+  }
+
+  // Flip.
+  LiveBytesAfterGc = FreePtr - ToBase;
+  std::swap(FromBase, ToBase);
+  H.setDynamicFrontier(FreePtr);
+  H.setDynamicLimit(FromBase + SemiBytes);
+
+  if (TraceSink *Bus = H.traceBus())
+    Bus->onGcEnd();
+  H.setPhase(Phase::Mutator);
+  Mutator.onPostGc();
+}

@@ -1,0 +1,63 @@
+//===- CheneyCollector.h - Compacting semispace collector -------*- C++ -*-===//
+//
+// Part of the gcache project (Reinhold, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cheney's compacting semispace copying collector [Cheney 1970], the
+/// collector of the paper's second experiment (§6): "a simple, efficient,
+/// and infrequently-run Cheney-style compacting semispace collector",
+/// configured there with 16 MB semispaces. Allocation bumps a pointer in
+/// from-space; when it fills, live objects are copied breadth-first into
+/// to-space (the classic two-finger scan) and the spaces flip.
+///
+/// All of the collector's loads and stores go through the traced heap in
+/// Phase::Collector, so its cache misses (M_gc) and its displacement of
+/// the program's cache state are simulated exactly; its instruction count
+/// (I_gc) follows the cost model in Collector.h.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCACHE_GC_CHENEYCOLLECTOR_H
+#define GCACHE_GC_CHENEYCOLLECTOR_H
+
+#include "gcache/gc/Collector.h"
+
+namespace gcache {
+
+/// Two-semispace compacting collector.
+class CheneyCollector final : public Collector {
+public:
+  /// \p SemispaceBytes is the size of each semispace (the paper uses
+  /// 16 MB; benches scale it with the workloads).
+  CheneyCollector(Heap &H, MutatorContext &Mutator, uint32_t SemispaceBytes);
+
+  Address allocate(uint32_t Words) override;
+  void collect() override;
+  std::string name() const override { return "cheney"; }
+
+  Address fromSpaceBase() const { return FromBase; }
+  Address toSpaceBase() const { return ToBase; }
+  uint32_t semispaceBytes() const { return SemiBytes; }
+  /// Bytes of live data copied by the most recent collection.
+  uint64_t liveBytesAfterLastGc() const { return LiveBytesAfterGc; }
+
+private:
+  bool inFromSpace(Address A) const {
+    return A >= FromBase && A < FromBase + SemiBytes;
+  }
+  Value forward(Value V);
+  void forwardSlotsAt(Address ObjAddr, uint32_t Header);
+  void scanStaticArea();
+
+  Address FromBase;
+  Address ToBase;
+  uint32_t SemiBytes;
+  Address FreePtr = 0; ///< To-space allocation point during a collection.
+  uint64_t LiveBytesAfterGc = 0;
+};
+
+} // namespace gcache
+
+#endif // GCACHE_GC_CHENEYCOLLECTOR_H

@@ -1,0 +1,22 @@
+//===- Collector.cpp - Garbage collector interface --------------------------===//
+
+#include "gcache/gc/Collector.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace gcache;
+
+MutatorContext::~MutatorContext() = default;
+Collector::~Collector() = default;
+
+void gcache::fatalGcError(const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  std::fprintf(stderr, "gcache fatal: ");
+  std::vfprintf(stderr, Fmt, Args);
+  std::fprintf(stderr, "\n");
+  va_end(Args);
+  std::abort();
+}

@@ -1,0 +1,152 @@
+//===- Collector.h - Garbage collector interface ----------------*- C++ -*-===//
+//
+// Part of the gcache project (Reinhold, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The collector interface and cost accounting of §6. Every collector is
+/// also the VM's Allocator; a collection may run inside allocate(). While
+/// a collector runs it switches the heap into the Collector phase, so all
+/// of its loads and stores are phase-tagged on the trace (yielding M_gc),
+/// and it charges an explicit instruction cost model (yielding I_gc):
+/// the collector's "executed instructions" are estimated from its memory
+/// operations, since the collector itself is simulated rather than
+/// emulated.
+///
+/// Cost model (instructions per abstract operation, roughly a compiled
+/// Cheney loop on a MIPS-like machine):
+///   ScanSlot = 3   per slot examined (load, tag test, branch)
+///   CopyWord = 2   per word copied (load + store; loop overhead amortized)
+///   Forward = 4    per pointer forwarded (header check + arithmetic)
+///   Setup = 400    per collection (flip, bookkeeping, root registration)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCACHE_GC_COLLECTOR_H
+#define GCACHE_GC_COLLECTOR_H
+
+#include "gcache/heap/Heap.h"
+#include "gcache/heap/ObjectModel.h"
+
+#include <functional>
+#include <string>
+
+namespace gcache {
+
+/// Per-collection instruction cost model (see file comment).
+namespace gccost {
+constexpr uint64_t ScanSlot = 3;
+constexpr uint64_t CopyWord = 2;
+constexpr uint64_t Forward = 4;
+constexpr uint64_t Setup = 400;
+/// Mutator-side cost of one generational write barrier (filter + maybe
+/// remembered-set insert); charged to the *program*, not the collector.
+constexpr uint64_t WriteBarrier = 3;
+} // namespace gccost
+
+/// Aggregate collector activity over a run.
+struct GcStats {
+  uint64_t Collections = 0;       ///< All collections (minor + major).
+  uint64_t MajorCollections = 0;  ///< Full collections only.
+  uint64_t ObjectsCopied = 0;
+  uint64_t WordsCopied = 0;
+  uint64_t Instructions = 0;      ///< I_gc under the cost model.
+};
+
+/// How the collector finds the mutator's roots. Implemented by the VM; a
+/// simple version exists for unit tests.
+class MutatorContext {
+public:
+  virtual ~MutatorContext();
+
+  /// Number of live words on the simulated value stack (slots 0..N-1 are
+  /// scanned as roots through traced heap accesses).
+  virtual uint32_t liveStackWords() const = 0;
+
+  /// Visits every host-side root slot (VM registers, C++ temporaries).
+  /// These model machine registers, so reading/updating them is untraced.
+  virtual void forEachHostRoot(const std::function<void(Value &)> &Fn) = 0;
+
+  /// Called after every collection (the VM uses it to invalidate
+  /// address-keyed hash tables, the paper's rehash cost ΔI_prog).
+  virtual void onPostGc() {}
+};
+
+/// Abstract moving collector. Concrete collectors: NullCollector (§5
+/// control), CheneyCollector (§6), GenerationalCollector (§6 discussion,
+/// including the "aggressive" configuration).
+class Collector : public Allocator {
+public:
+  Collector(Heap &H, MutatorContext &Mutator) : H(H), Mutator(Mutator) {}
+  ~Collector() override;
+
+  /// Forces a full collection.
+  virtual void collect() = 0;
+
+  virtual std::string name() const = 0;
+
+  const GcStats &stats() const { return Stats; }
+
+  /// Monotone counter bumped after every collection; address-keyed hash
+  /// tables compare it to their cached epoch to decide to rehash.
+  /// Non-moving collectors override this to a constant (addresses, and so
+  /// address hashes, stay valid).
+  virtual uint64_t epoch() const { return Stats.Collections; }
+
+  /// Mutator-side instruction cost of one pointer store's write barrier
+  /// (0 for non-generational collectors).
+  virtual uint64_t writeBarrierCost() const { return 0; }
+
+  /// Cumulative mutator-side instruction cost of allocation beyond a
+  /// simple bump (free-list search in the mark-sweep collector; 0 for
+  /// linear allocators).
+  virtual uint64_t mutatorAllocInstructions() const { return 0; }
+
+  /// Generational hook: the mutator stored \p New into heap slot \p Slot.
+  virtual void noteStore(Address Slot, Value New) {}
+
+protected:
+  Heap &H;
+  MutatorContext &Mutator;
+  GcStats Stats;
+};
+
+/// No collection at all: linear allocation in the unbounded dynamic area.
+/// This is exactly the §5 control experiment ("this is done simply by
+/// disabling the collector").
+class NullCollector final : public Collector {
+public:
+  NullCollector(Heap &H, MutatorContext &Mutator) : Collector(H, Mutator) {
+    H.setDynamicLimit(0);
+  }
+  Address allocate(uint32_t Words) override {
+    return H.allocDynamicRaw(Words);
+  }
+  void collect() override {}
+  std::string name() const override { return "none"; }
+};
+
+/// Test helper: fixed stack depth, externally registered host roots.
+class SimpleMutatorContext final : public MutatorContext {
+public:
+  std::vector<Value *> HostRoots;
+  uint32_t StackWords = 0;
+  uint64_t PostGcCalls = 0;
+
+  uint32_t liveStackWords() const override { return StackWords; }
+  void forEachHostRoot(const std::function<void(Value &)> &Fn) override {
+    for (Value *V : HostRoots)
+      Fn(*V);
+  }
+  void onPostGc() override { ++PostGcCalls; }
+};
+
+/// Prints a message and aborts; used for unrecoverable simulation errors
+/// such as semispace exhaustion (the paper's runs size semispaces to fit
+/// the live set).
+[[noreturn]] void fatalGcError(const char *Fmt, ...);
+
+} // namespace gcache
+
+#endif // GCACHE_GC_COLLECTOR_H

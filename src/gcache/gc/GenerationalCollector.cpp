@@ -1,0 +1,208 @@
+//===- GenerationalCollector.cpp - Two-generation copying GC ---------------===//
+
+#include "gcache/gc/GenerationalCollector.h"
+
+#include "gcache/trace/Sinks.h"
+
+using namespace gcache;
+
+GenerationalCollector::GenerationalCollector(Heap &H, MutatorContext &Mutator,
+                                             const GenerationalConfig &Config)
+    : Collector(H, Mutator), Config(Config) {
+  if (Config.NurseryBytes % 4 != 0 || Config.NurseryBytes == 0 ||
+      Config.OldSemispaceBytes % 4 != 0 || Config.OldSemispaceBytes == 0)
+    fatalGcError("generation sizes (%u, %u) must be positive multiples of 4",
+                 Config.NurseryBytes, Config.OldSemispaceBytes);
+  OldFromBase = Heap::DynamicBase + Config.NurseryBytes;
+  OldToBase = OldFromBase + Config.OldSemispaceBytes;
+  OldFree = OldFromBase;
+  H.setDynamicFrontier(Heap::DynamicBase);
+  H.setDynamicLimit(Heap::DynamicBase + Config.NurseryBytes);
+}
+
+Address GenerationalCollector::allocate(uint32_t Words) {
+  uint32_t Bytes = Words * 4;
+  // Objects too large for the nursery are allocated directly in the old
+  // generation (a conventional large-object escape hatch; it matters for
+  // the aggressive configuration, whose nursery can be as small as 32 KB).
+  if (Bytes > Config.NurseryBytes / 2) {
+    if (oldFreeBytes() < Bytes)
+      collect();
+    if (oldFreeBytes() < Bytes)
+      fatalGcError("old generation exhausted by a %u-byte object", Bytes);
+    Address SavedFrontier = H.dynamicFrontier();
+    Address SavedLimit = H.dynamicLimit();
+    H.setDynamicFrontier(OldFree);
+    H.setDynamicLimit(OldFromBase + Config.OldSemispaceBytes);
+    Address A = H.allocDynamicRaw(Words);
+    OldFree = H.dynamicFrontier();
+    H.setDynamicFrontier(SavedFrontier);
+    H.setDynamicLimit(SavedLimit);
+    return A;
+  }
+
+  if (H.dynamicWordsLeft() < Words) {
+    minorCollect();
+    if (H.dynamicWordsLeft() < Words)
+      fatalGcError("nursery exhausted after a minor collection");
+  }
+  return H.allocDynamicRaw(Words);
+}
+
+void GenerationalCollector::noteStore(Address Slot, Value New) {
+  if (!New.isPointer() || !inNursery(New.asPointer()))
+    return;
+  if (!inOldFrom(Slot))
+    return;
+  if (RememberedSet.insert(Slot).second)
+    RememberedList.push_back(Slot);
+}
+
+template <typename InSpaceFn>
+Value GenerationalCollector::forward(Value V, InSpaceFn InSpace) {
+  if (!V.isPointer())
+    return V;
+  Address A = V.asPointer();
+  if (!InSpace(A))
+    return V;
+
+  uint32_t Header = H.load(A);
+  Stats.Instructions += gccost::Forward;
+  if (isForwardedHeader(Header))
+    return Value::pointer(forwardTarget(Header));
+
+  uint32_t Words = headerObjectWords(Header);
+  Address NewA = FreePtr;
+  H.store(NewA, Header);
+  for (uint32_t I = 1; I != Words; ++I)
+    H.store(NewA + I * 4, H.load(A + I * 4));
+  Stats.Instructions += gccost::CopyWord * Words;
+  FreePtr += Words * 4;
+  H.store(A, makeForwardHeader(NewA));
+  ++Stats.ObjectsCopied;
+  Stats.WordsCopied += Words;
+  return Value::pointer(NewA);
+}
+
+template <typename InSpaceFn>
+void GenerationalCollector::forwardSlotsAt(Address ObjAddr, uint32_t Header,
+                                           InSpaceFn InSpace) {
+  uint32_t First, Count;
+  objectValueSlots(headerTag(Header), headerPayloadWords(Header), First,
+                   Count);
+  for (uint32_t I = First; I != First + Count; ++I) {
+    Address Slot = ObjAddr + 4 + I * 4;
+    Value V = H.loadValue(Slot);
+    Stats.Instructions += gccost::ScanSlot;
+    if (V.isPointer() && InSpace(V.asPointer()))
+      H.storeValue(Slot, forward(V, InSpace));
+  }
+}
+
+template <typename InSpaceFn>
+void GenerationalCollector::scanRootsAndCopy(InSpaceFn InSpace) {
+  Mutator.forEachHostRoot([&](Value &V) {
+    Stats.Instructions += gccost::ScanSlot;
+    V = forward(V, InSpace);
+  });
+  for (uint32_t Slot = 0, E = Mutator.liveStackWords(); Slot != E; ++Slot) {
+    Address A = H.stackSlotAddr(Slot);
+    Value V = H.loadValue(A);
+    Stats.Instructions += gccost::ScanSlot;
+    if (V.isPointer() && InSpace(V.asPointer()))
+      H.storeValue(A, forward(V, InSpace));
+  }
+  // Static area.
+  Address A = Heap::StaticBase;
+  Address End = H.staticFrontier();
+  while (A < End) {
+    uint32_t Header = H.load(A);
+    Stats.Instructions += gccost::ScanSlot;
+    forwardSlotsAt(A, Header, InSpace);
+    A += headerObjectWords(Header) * 4;
+  }
+}
+
+void GenerationalCollector::finishCollection() {
+  RememberedList.clear();
+  RememberedSet.clear();
+  H.setDynamicFrontier(Heap::DynamicBase);
+  H.setDynamicLimit(Heap::DynamicBase + Config.NurseryBytes);
+  if (TraceSink *Bus = H.traceBus())
+    Bus->onGcEnd();
+  H.setPhase(Phase::Mutator);
+  Mutator.onPostGc();
+}
+
+void GenerationalCollector::minorCollect() {
+  // If the worst-case promotion cannot fit, fall back to a full
+  // collection (which also empties the nursery).
+  if (oldFreeBytes() < nurseryUsedBytes()) {
+    collect();
+    return;
+  }
+
+  ++Stats.Collections;
+  Stats.Instructions += gccost::Setup;
+  H.setPhase(Phase::Collector);
+  if (TraceSink *Bus = H.traceBus())
+    Bus->onGcBegin();
+  H.ensureDynamicBacked(OldFromBase + Config.OldSemispaceBytes);
+
+  auto InNurserySpace = [this](Address A) { return inNursery(A); };
+  FreePtr = OldFree;
+  Address ScanPtr = OldFree;
+
+  scanRootsAndCopy(InNurserySpace);
+
+  // Remembered old-to-young slots.
+  for (Address Slot : RememberedList) {
+    Value V = H.loadValue(Slot);
+    Stats.Instructions += gccost::ScanSlot;
+    if (V.isPointer() && inNursery(V.asPointer()))
+      H.storeValue(Slot, forward(V, InNurserySpace));
+  }
+
+  while (ScanPtr < FreePtr) {
+    uint32_t Header = H.load(ScanPtr);
+    Stats.Instructions += gccost::ScanSlot;
+    forwardSlotsAt(ScanPtr, Header, InNurserySpace);
+    ScanPtr += headerObjectWords(Header) * 4;
+  }
+
+  OldFree = FreePtr;
+  finishCollection();
+}
+
+void GenerationalCollector::collect() {
+  ++Stats.Collections;
+  ++Stats.MajorCollections;
+  Stats.Instructions += gccost::Setup;
+  H.setPhase(Phase::Collector);
+  if (TraceSink *Bus = H.traceBus())
+    Bus->onGcBegin();
+  H.ensureDynamicBacked(OldToBase + Config.OldSemispaceBytes);
+
+  Address OldFromEnd = OldFromBase + Config.OldSemispaceBytes;
+  auto InLiveSpace = [this, OldFromEnd](Address A) {
+    return inNursery(A) || (A >= OldFromBase && A < OldFromEnd);
+  };
+  FreePtr = OldToBase;
+  Address ScanPtr = OldToBase;
+  Address CopyLimit = OldToBase + Config.OldSemispaceBytes;
+
+  scanRootsAndCopy(InLiveSpace);
+  while (ScanPtr < FreePtr) {
+    uint32_t Header = H.load(ScanPtr);
+    Stats.Instructions += gccost::ScanSlot;
+    forwardSlotsAt(ScanPtr, Header, InLiveSpace);
+    ScanPtr += headerObjectWords(Header) * 4;
+    if (FreePtr > CopyLimit)
+      fatalGcError("old generation overflow during a full collection; "
+                   "increase the old semispace size");
+  }
+
+  std::swap(OldFromBase, OldToBase);
+  OldFree = FreePtr;
+  finishCollection();
+}

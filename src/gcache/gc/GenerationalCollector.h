@@ -1,0 +1,112 @@
+//===- GenerationalCollector.h - Two-generation copying GC ------*- C++ -*-===//
+//
+// Part of the gcache project (Reinhold, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A simple two-generation compacting collector of the kind the paper
+/// argues for in §6: new objects are allocated linearly in a nursery (the
+/// new-object area / first generation); when it fills, a *minor*
+/// collection promotes the live nursery objects into the old generation;
+/// when the old generation's semispace cannot absorb a promotion, a *full*
+/// collection copies all live data (nursery + old) into the other old
+/// semispace. Old-to-young pointers created by mutation are tracked in a
+/// remembered set via a write barrier whose per-store cost is charged to
+/// the mutator ("the overheads of managing several generations and of
+/// detecting and updating pointers from old objects to new objects").
+///
+/// The paper's *aggressive* collector (Wilson et al. / Zorn) is this same
+/// collector with a nursery small enough to fit (mostly) in the cache —
+/// see aggressiveConfig().
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCACHE_GC_GENERATIONALCOLLECTOR_H
+#define GCACHE_GC_GENERATIONALCOLLECTOR_H
+
+#include "gcache/gc/Collector.h"
+
+#include <unordered_set>
+#include <vector>
+
+namespace gcache {
+
+/// Sizing for the two generations.
+struct GenerationalConfig {
+  uint32_t NurseryBytes = 512 * 1024;
+  /// Each old-generation semispace.
+  uint32_t OldSemispaceBytes = 16 * 1024 * 1024;
+
+  /// The aggressive configuration: first generation sized to (a fraction
+  /// of) the cache, so collections are frequent enough that new objects
+  /// die "in cache" (§2, §6).
+  static GenerationalConfig aggressive(uint32_t CacheBytes,
+                                       uint32_t OldSemiBytes) {
+    return {CacheBytes, OldSemiBytes};
+  }
+};
+
+/// Two-generation copying collector with a remembered-set write barrier.
+class GenerationalCollector final : public Collector {
+public:
+  GenerationalCollector(Heap &H, MutatorContext &Mutator,
+                        const GenerationalConfig &Config);
+
+  Address allocate(uint32_t Words) override;
+  void collect() override; ///< Forces a full collection.
+  std::string name() const override { return "generational"; }
+
+  uint64_t writeBarrierCost() const override { return gccost::WriteBarrier; }
+  void noteStore(Address Slot, Value New) override;
+
+  /// Runs a minor collection (promotes the live nursery).
+  void minorCollect();
+
+  uint64_t minorCollections() const {
+    return Stats.Collections - Stats.MajorCollections;
+  }
+  size_t rememberedSlots() const { return RememberedList.size(); }
+  Address nurseryBase() const { return Heap::DynamicBase; }
+  uint32_t nurseryBytes() const { return Config.NurseryBytes; }
+  Address oldSpaceBase() const { return OldFromBase; }
+  Address oldSpaceFrontier() const { return OldFree; }
+
+private:
+  bool inNursery(Address A) const {
+    return A >= Heap::DynamicBase &&
+           A < Heap::DynamicBase + Config.NurseryBytes;
+  }
+  bool inOldFrom(Address A) const {
+    return A >= OldFromBase && A < OldFromBase + Config.OldSemispaceBytes;
+  }
+  uint32_t nurseryUsedBytes() const {
+    return H.dynamicFrontier() - Heap::DynamicBase;
+  }
+  uint32_t oldFreeBytes() const {
+    return OldFromBase + Config.OldSemispaceBytes - OldFree;
+  }
+
+  /// Copies the object at \p A (which must be in \p FromPred-space) to
+  /// \p FreePtr; shared by minor and full collections.
+  template <typename InSpaceFn> Value forward(Value V, InSpaceFn InSpace);
+  template <typename InSpaceFn>
+  void forwardSlotsAt(Address ObjAddr, uint32_t Header, InSpaceFn InSpace);
+  template <typename InSpaceFn> void scanRootsAndCopy(InSpaceFn InSpace);
+  void finishCollection();
+
+  GenerationalConfig Config;
+  Address OldFromBase; ///< Current old-generation semispace base.
+  Address OldToBase;   ///< The other semispace (full-collection target).
+  Address OldFree;     ///< Old-generation allocation point.
+  Address FreePtr = 0; ///< Copy target during a collection.
+
+  /// Remembered old-generation (or stack-external) slots that may hold
+  /// nursery pointers. Vector for deterministic scan order, set for dedup.
+  std::vector<Address> RememberedList;
+  std::unordered_set<Address> RememberedSet;
+};
+
+} // namespace gcache
+
+#endif // GCACHE_GC_GENERATIONALCOLLECTOR_H

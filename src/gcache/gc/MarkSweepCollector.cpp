@@ -1,0 +1,227 @@
+//===- MarkSweepCollector.cpp - Non-moving mark-and-sweep GC ----------------===//
+
+#include "gcache/gc/MarkSweepCollector.h"
+
+#include "gcache/trace/Sinks.h"
+
+using namespace gcache;
+
+MarkSweepCollector::MarkSweepCollector(Heap &H, MutatorContext &Mutator,
+                                       uint32_t HeapBytes)
+    : Collector(H, Mutator) {
+  if (HeapBytes % 4 != 0 || HeapBytes < 64 || HeapBytes >= (64u << 20))
+    fatalGcError("mark-sweep heap size %u must be a multiple of 4 in "
+                 "[64, 64MB)",
+                 HeapBytes);
+  Base = Heap::DynamicBase;
+  End = Base + HeapBytes;
+  H.ensureDynamicBacked(End);
+  H.setDynamicLimit(0);
+  MarkBits.assign((HeapBytes / 4 + 63) / 64, 0);
+  // The whole heap starts as one free chunk (untraced setup).
+  uint32_t Words = HeapBytes / 4;
+  H.poke(Base, makeHeader(ObjectTag::FreeChunk, Words - 1));
+  H.poke(Base + 4, 0);
+  FreeLists[classOf(Words)] = Base;
+}
+
+uint32_t MarkSweepCollector::classOf(uint32_t Words) {
+  // Exact classes for 2..16 words (classes 0..14), then geometric ranges.
+  if (Words <= 16)
+    return Words < 2 ? 0 : Words - 2;
+  if (Words <= 24)
+    return 15;
+  if (Words <= 32)
+    return 16;
+  if (Words <= 48)
+    return 17;
+  if (Words <= 64)
+    return 18;
+  if (Words <= 96)
+    return 19;
+  if (Words <= 128)
+    return 20;
+  if (Words <= 192)
+    return 21;
+  if (Words <= 256)
+    return 22;
+  return 23;
+}
+
+void MarkSweepCollector::pushFree(Address A, uint32_t Words) {
+  assert(Words >= 2 && "free chunks need header + next");
+  H.store(A, makeHeader(ObjectTag::FreeChunk, Words - 1));
+  uint32_t C = classOf(Words);
+  H.store(A + 4, FreeLists[C]);
+  FreeLists[C] = A;
+}
+
+Address MarkSweepCollector::popFit(uint32_t Words) {
+  for (uint32_t C = classOf(Words); C != NumClasses; ++C) {
+    Address Prev = 0;
+    Address Cur = FreeLists[C];
+    // First fit within the class (exact classes always fit; range
+    // classes require the size check). The traversal's loads are real,
+    // traced mutator references — the allocator walking its free lists.
+    while (Cur) {
+      uint32_t Header = H.load(Cur);
+      uint32_t ChunkWords = headerObjectWords(Header);
+      AllocSearchCost += 4; // Mutator-side malloc work, not I_gc.
+      if (ChunkWords >= Words) {
+        Address Next = H.load(Cur + 4);
+        if (Prev)
+          H.store(Prev + 4, Next);
+        else
+          FreeLists[C] = Next;
+        uint32_t Rest = ChunkWords - Words;
+        if (Rest >= 2)
+          pushFree(Cur + Words * 4, Rest);
+        else if (Rest == 1) // Unlinkable sliver; reclaimed by the sweep.
+          H.store(Cur + Words * 4, makeHeader(ObjectTag::FreeChunk, 0));
+        return Cur;
+      }
+      Prev = Cur;
+      Cur = H.load(Cur + 4);
+    }
+  }
+  return 0;
+}
+
+Address MarkSweepCollector::allocate(uint32_t Words) {
+  uint32_t Need = Words < 2 ? 2 : Words;
+  Address A = popFit(Need);
+  if (!A) {
+    collect();
+    A = popFit(Need);
+    if (!A)
+      fatalGcError("mark-sweep heap exhausted allocating %u words "
+                   "(fragmentation or undersized heap)",
+                   Words);
+  }
+  // Pad a 1-word allocation so the next word stays walkable.
+  if (Need > Words)
+    H.store(A + Words * 4, makeHeader(ObjectTag::FreeChunk, 0));
+  H.recordAllocationEvent(A, Words);
+  return A;
+}
+
+void MarkSweepCollector::mark(Value V) {
+  if (!V.isPointer())
+    return;
+  Address A = V.asPointer();
+  if (A < Base || A >= End || isMarked(A))
+    return;
+  setMark(A);
+  MarkStack.push_back(A);
+  while (!MarkStack.empty()) {
+    Address Obj = MarkStack.back();
+    MarkStack.pop_back();
+    uint32_t Header = H.load(Obj);
+    uint32_t First, Count;
+    objectValueSlots(headerTag(Header), headerPayloadWords(Header), First,
+                     Count);
+    Stats.Instructions += gccost::ScanSlot;
+    for (uint32_t I = First; I != First + Count; ++I) {
+      Value Slot = H.loadValue(Obj + 4 + I * 4);
+      Stats.Instructions += gccost::ScanSlot;
+      if (!Slot.isPointer())
+        continue;
+      Address T = Slot.asPointer();
+      if (T < Base || T >= End || isMarked(T))
+        continue;
+      setMark(T);
+      MarkStack.push_back(T);
+    }
+  }
+}
+
+void MarkSweepCollector::markRoots() {
+  Mutator.forEachHostRoot([&](Value &V) {
+    Stats.Instructions += gccost::ScanSlot;
+    mark(V); // Non-moving: no update needed.
+  });
+  for (uint32_t Slot = 0, E = Mutator.liveStackWords(); Slot != E; ++Slot) {
+    Stats.Instructions += gccost::ScanSlot;
+    mark(H.loadValue(H.stackSlotAddr(Slot)));
+  }
+  Address A = Heap::StaticBase;
+  Address StaticEnd = H.staticFrontier();
+  while (A < StaticEnd) {
+    uint32_t Header = H.load(A);
+    uint32_t First, Count;
+    objectValueSlots(headerTag(Header), headerPayloadWords(Header), First,
+                     Count);
+    Stats.Instructions += gccost::ScanSlot;
+    for (uint32_t I = First; I != First + Count; ++I) {
+      Stats.Instructions += gccost::ScanSlot;
+      mark(H.loadValue(A + 4 + I * 4));
+    }
+    A += headerObjectWords(Header) * 4;
+  }
+}
+
+void MarkSweepCollector::sweep() {
+  for (Address &L : FreeLists)
+    L = 0;
+  Address RunStart = 0;
+  uint32_t RunWords = 0;
+  Address A = Base;
+  while (A < End) {
+    uint32_t Header = H.load(A);
+    Stats.Instructions += gccost::ScanSlot;
+    uint32_t Words = headerObjectWords(Header);
+    bool Live = headerTag(Header) != ObjectTag::FreeChunk && isMarked(A);
+    if (Live) {
+      if (RunWords >= 2) {
+        pushFree(RunStart, RunWords);
+      } else if (RunWords == 1) {
+        // Unlinkable 1-word hole: keep it walkable, reclaim when a
+        // neighbour dies and the runs coalesce.
+        H.store(RunStart, makeHeader(ObjectTag::FreeChunk, 0));
+      }
+      RunStart = 0;
+      RunWords = 0;
+    } else {
+      if (headerTag(Header) != ObjectTag::FreeChunk)
+        ++ObjectsFreed;
+      if (!RunWords)
+        RunStart = A;
+      RunWords += Words;
+    }
+    A += Words * 4;
+  }
+  if (RunWords >= 2)
+    pushFree(RunStart, RunWords);
+  else if (RunWords == 1)
+    H.store(RunStart, makeHeader(ObjectTag::FreeChunk, 0));
+}
+
+void MarkSweepCollector::collect() {
+  ++Stats.Collections;
+  ++Stats.MajorCollections;
+  Stats.Instructions += gccost::Setup;
+  H.setPhase(Phase::Collector);
+  if (TraceSink *Bus = H.traceBus())
+    Bus->onGcBegin();
+
+  std::fill(MarkBits.begin(), MarkBits.end(), 0);
+  markRoots();
+  sweep();
+
+  if (TraceSink *Bus = H.traceBus())
+    Bus->onGcEnd();
+  H.setPhase(Phase::Mutator);
+  Mutator.onPostGc();
+}
+
+uint64_t MarkSweepCollector::freeWords() const {
+  uint64_t Total = 0;
+  for (Address L : FreeLists) {
+    Address Cur = L;
+    while (Cur) {
+      Total += headerObjectWords(H.peek(Cur));
+      Cur = H.peek(Cur + 4);
+    }
+  }
+  return Total;
+}

@@ -1,0 +1,149 @@
+//===- Heap.h - Simulated word-addressed memory -----------------*- C++ -*-===//
+//
+// Part of the gcache project (Reinhold, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The simulated 32-bit address space. Every load and store the VM or a
+/// collector performs goes through this class and (when tracing is on)
+/// emits one Ref event — this is the reproduction's stand-in for the
+/// paper's instruction-level MIPS emulator.
+///
+/// The layout mirrors §7's block taxonomy:
+///   - a *static* area holding the program itself: interned symbols,
+///     quoted constants, global value cells, top-level closures, and the
+///     hot runtime vector (the paper's "busy static blocks");
+///   - a *stack* area for the procedure-call stack (the paper notes nearly
+///     all stack references concentrate in a few extremely busy blocks);
+///   - a contiguous *dynamic* area in which objects are allocated linearly
+///     by incrementing the allocation pointer, which therefore sweeps any
+///     direct-mapped cache from end to end (§7 "Sweeping the cache").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCACHE_HEAP_HEAP_H
+#define GCACHE_HEAP_HEAP_H
+
+#include "gcache/heap/Value.h"
+#include "gcache/trace/Event.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace gcache {
+
+class TraceSink;
+
+/// Simulated memory with static/stack/dynamic regions, linear allocation,
+/// and per-access trace emission.
+class Heap {
+public:
+  /// Region base addresses (bytes). Chosen so regions never overlap and
+  /// so the dynamic area has ~3.5 GB of headroom for collector-free runs.
+  /// The stack base is staggered by an odd multiple of the largest block
+  /// size (1453 * 64 bytes) so that the busy stack-bottom blocks do not
+  /// share cache blocks with the busy static blocks (runtime vector,
+  /// global cells) in any power-of-two cache up to 4 MB — the §7 remark
+  /// that avoiding thrash only takes care in placing busy objects.
+  /// The dynamic base is likewise offset (128 KB + an odd multiple of 64)
+  /// so a generational nursery at the bottom of the dynamic area does not
+  /// alias the static data or the stack bottom in caches of 1 MB and up;
+  /// in smaller caches a cache-sized-or-larger nursery necessarily covers
+  /// every index.
+  static constexpr Address StaticBase = 0x00100000;            // 1 MB
+  static constexpr Address StackBase = 0x08000000 + 1453 * 64; // ~128 MB
+  static constexpr Address DynamicBase = 0x10000000 + 0x20000 + 21 * 64;
+  static constexpr uint32_t StackCapacityWords = 1u << 20; // 4 MB of stack.
+
+  /// \p Bus receives one event per access; may be null (untraced heap).
+  explicit Heap(TraceSink *Bus = nullptr);
+
+  //===--- Traced accesses (the instruction-level emulator) --------------===//
+
+  /// Loads the word at \p A, emitting a load event.
+  uint32_t load(Address A);
+  /// Stores \p V at \p A, emitting a store event.
+  void store(Address A, uint32_t V);
+
+  Value loadValue(Address A) { return {load(A)}; }
+  void storeValue(Address A, Value V) { store(A, V.Bits); }
+
+  //===--- Untraced accesses (verification / test plumbing) --------------===//
+
+  uint32_t peek(Address A) const;
+  void poke(Address A, uint32_t V);
+
+  //===--- Allocation -----------------------------------------------------===//
+
+  /// Bump-allocates \p Words words in the static area (load time). Static
+  /// allocations may be padded by the caller to scatter blocks.
+  Address allocStatic(uint32_t Words);
+
+  /// Bump-allocates \p Words words at the dynamic allocation pointer and
+  /// emits an allocation event. Does NOT check the limit or trigger GC —
+  /// that is the collector's job (see gc/Collector.h).
+  Address allocDynamicRaw(uint32_t Words);
+
+  /// The dynamic allocation pointer and (semispace) limit. A limit of 0
+  /// means unbounded (the §5 control experiment's disabled collector).
+  Address dynamicFrontier() const { return DynFrontier; }
+  void setDynamicFrontier(Address A);
+  Address dynamicLimit() const { return DynLimit; }
+  void setDynamicLimit(Address A) { DynLimit = A; }
+
+  /// Words remaining before the frontier hits the limit (UINT32_MAX when
+  /// unbounded).
+  uint32_t dynamicWordsLeft() const;
+
+  /// Records an allocation performed by a non-linear allocator (the
+  /// mark-sweep collector's free lists): bumps the allocation accounting
+  /// and emits the allocation event, without moving the frontier.
+  void recordAllocationEvent(Address A, uint32_t Words);
+
+  /// Grows the dynamic backing store to cover addresses up to \p A
+  /// (exclusive). Collectors call this when carving to-space.
+  void ensureDynamicBacked(Address A);
+
+  Address staticFrontier() const { return StaticFrontier; }
+
+  //===--- Stack ----------------------------------------------------------===//
+
+  Address stackSlotAddr(uint32_t Slot) const {
+    assert(Slot < StackCapacityWords && "stack overflow");
+    return StackBase + Slot * 4;
+  }
+
+  //===--- Tracing control ------------------------------------------------===//
+
+  void setTraceBus(TraceSink *B) { Bus = B; }
+  TraceSink *traceBus() const { return Bus; }
+  void setTracing(bool On) { TracingEnabled = On; }
+  bool tracing() const { return TracingEnabled; }
+  void setPhase(Phase P) { CurrentPhase = P; }
+  Phase phase() const { return CurrentPhase; }
+
+  /// Total dynamic bytes ever allocated (the paper's "Alloc" column).
+  uint64_t dynamicBytesAllocated() const { return DynBytesAllocated; }
+
+private:
+  uint32_t *slotFor(Address A);
+  const uint32_t *slotFor(Address A) const;
+
+  std::vector<uint32_t> StaticWords;
+  std::vector<uint32_t> StackWords;
+  std::vector<uint32_t> DynamicWords;
+
+  Address StaticFrontier = StaticBase;
+  Address DynFrontier = DynamicBase;
+  Address DynLimit = 0;
+  uint64_t DynBytesAllocated = 0;
+
+  TraceSink *Bus = nullptr;
+  bool TracingEnabled = true;
+  Phase CurrentPhase = Phase::Mutator;
+};
+
+} // namespace gcache
+
+#endif // GCACHE_HEAP_HEAP_H

@@ -1,0 +1,72 @@
+//===- HeapVerifier.cpp - Structural heap validation ------------------------===//
+
+#include "gcache/heap/HeapVerifier.h"
+#include "gcache/heap/ObjectModel.h"
+
+#include <cstdio>
+
+using namespace gcache;
+
+static bool plausibleTag(ObjectTag T) {
+  switch (T) {
+  case ObjectTag::Pair:
+  case ObjectTag::Vector:
+  case ObjectTag::String:
+  case ObjectTag::Symbol:
+  case ObjectTag::Flonum:
+  case ObjectTag::Cell:
+  case ObjectTag::HashTable:
+  case ObjectTag::Closure:
+  case ObjectTag::Forward:
+  case ObjectTag::FreeChunk:
+    return true;
+  }
+  return false;
+}
+
+static bool pointerValid(
+    const Heap &H, Address A,
+    const std::vector<std::pair<Address, Address>> &ValidRanges) {
+  bool InRange = A >= Heap::StaticBase && A < H.staticFrontier();
+  for (const auto &[B, E] : ValidRanges)
+    InRange = InRange || (A >= B && A < E);
+  if (!InRange)
+    return false;
+  return plausibleTag(headerTag(H.peek(A)));
+}
+
+VerifyResult gcache::verifyHeapRange(
+    const Heap &H, Address Begin, Address End,
+    const std::vector<std::pair<Address, Address>> &ValidRanges) {
+  VerifyResult R;
+  auto Fail = [&](Address At, const char *Msg) {
+    R.Ok = false;
+    char Buf[128];
+    snprintf(Buf, sizeof(Buf), "%s at address 0x%08x", Msg, At);
+    R.Error = Buf;
+    return R;
+  };
+
+  Address A = Begin;
+  while (A < End) {
+    uint32_t Header = H.peek(A);
+    ObjectTag Tag = headerTag(Header);
+    if (!plausibleTag(Tag))
+      return Fail(A, "bad object header tag");
+    uint32_t Payload = headerPayloadWords(Header);
+    Address Next = A + 4 + Payload * 4;
+    if (Next > End || Next <= A)
+      return Fail(A, "object overruns region");
+
+    uint32_t First, Count;
+    objectValueSlots(Tag, Payload, First, Count);
+    for (uint32_t I = First; I != First + Count; ++I) {
+      Value V{H.peek(A + 4 + I * 4)};
+      if (V.isPointer() && !pointerValid(H, V.asPointer(), ValidRanges))
+        return Fail(A, "payload pointer targets no well-formed object");
+    }
+    ++R.Objects;
+    A = Next;
+  }
+  return R;
+}

@@ -1,0 +1,44 @@
+//===- HeapVerifier.h - Structural heap validation --------------*- C++ -*-===//
+//
+// Part of the gcache project (Reinhold, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Untraced structural checks over simulated heap regions: that a region
+/// parses as a sequence of well-formed objects and that every pointer
+/// stored in those objects targets a well-formed object in a live region.
+/// Used by the GC tests (no live pointer may target from-space after a
+/// collection) and as a debugging aid.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCACHE_HEAP_HEAPVERIFIER_H
+#define GCACHE_HEAP_HEAPVERIFIER_H
+
+#include "gcache/heap/Heap.h"
+
+#include <string>
+#include <vector>
+
+namespace gcache {
+
+/// Outcome of a verification pass.
+struct VerifyResult {
+  bool Ok = true;
+  std::string Error;      ///< First problem found (empty when Ok).
+  uint64_t Objects = 0;   ///< Objects parsed.
+};
+
+/// Verifies that [Begin, End) parses as adjacent well-formed objects and
+/// that every pointer in their payloads lands inside one of
+/// \p ValidRanges (pairs of [begin, end)) or the static area, at an
+/// address whose header carries a plausible tag. Performs no traced
+/// accesses.
+VerifyResult
+verifyHeapRange(const Heap &H, Address Begin, Address End,
+                const std::vector<std::pair<Address, Address>> &ValidRanges);
+
+} // namespace gcache
+
+#endif // GCACHE_HEAP_HEAPVERIFIER_H

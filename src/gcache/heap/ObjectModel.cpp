@@ -1,0 +1,146 @@
+//===- ObjectModel.cpp - Heap object layout and accessors ------------------===//
+
+#include "gcache/heap/ObjectModel.h"
+
+#include <cstring>
+
+using namespace gcache;
+
+// Out-of-line virtual anchor.
+Allocator::~Allocator() = default;
+
+Value gcache::initPair(Heap &H, Address A, Value Car, Value Cdr) {
+  H.store(A, makeHeader(ObjectTag::Pair, 2));
+  H.storeValue(A + 4, Car);
+  H.storeValue(A + 8, Cdr);
+  return Value::pointer(A);
+}
+
+Value gcache::makePair(Heap &H, Allocator &Alloc, Value Car, Value Cdr) {
+  Address A = Alloc.allocate(3);
+  return initPair(H, A, Car, Cdr);
+}
+
+Value gcache::initVector(Heap &H, Address A, uint32_t Len, Value Fill) {
+  H.store(A, makeHeader(ObjectTag::Vector, Len));
+  for (uint32_t I = 0; I != Len; ++I)
+    H.storeValue(A + 4 + I * 4, Fill);
+  return Value::pointer(A);
+}
+
+Value gcache::makeVector(Heap &H, Allocator &Alloc, uint32_t Len, Value Fill) {
+  Address A = Alloc.allocate(1 + Len);
+  return initVector(H, A, Len, Fill);
+}
+
+Value gcache::makeString(Heap &H, Allocator &Alloc, const std::string &S) {
+  uint32_t Len = static_cast<uint32_t>(S.size());
+  uint32_t CharWords = (Len + 3) / 4;
+  Address A = Alloc.allocate(2 + CharWords);
+  H.store(A, makeHeader(ObjectTag::String, 1 + CharWords));
+  H.store(A + 4, Len);
+  for (uint32_t W = 0; W != CharWords; ++W) {
+    uint32_t Packed = 0;
+    for (uint32_t B = 0; B != 4; ++B) {
+      uint32_t I = W * 4 + B;
+      if (I < Len)
+        Packed |= static_cast<uint32_t>(static_cast<uint8_t>(S[I])) << (B * 8);
+    }
+    H.store(A + 8 + W * 4, Packed);
+  }
+  return Value::pointer(A);
+}
+
+Value gcache::makeFlonum(Heap &H, Allocator &Alloc, double D) {
+  Address A = Alloc.allocate(3);
+  uint64_t Bits;
+  std::memcpy(&Bits, &D, sizeof(Bits));
+  H.store(A, makeHeader(ObjectTag::Flonum, 2));
+  H.store(A + 4, static_cast<uint32_t>(Bits));
+  H.store(A + 8, static_cast<uint32_t>(Bits >> 32));
+  return Value::pointer(A);
+}
+
+Value gcache::makeCell(Heap &H, Allocator &Alloc, Value V) {
+  Address A = Alloc.allocate(2);
+  H.store(A, makeHeader(ObjectTag::Cell, 1));
+  H.storeValue(A + 4, V);
+  return Value::pointer(A);
+}
+
+Value gcache::makeClosure(Heap &H, Allocator &Alloc, uint32_t CodeId,
+                          uint32_t NumFree) {
+  Address A = Alloc.allocate(2 + NumFree);
+  H.store(A, makeHeader(ObjectTag::Closure, 1 + NumFree));
+  H.storeValue(A + 4, Value::fixnum(static_cast<int32_t>(CodeId)));
+  for (uint32_t I = 0; I != NumFree; ++I)
+    H.storeValue(A + 8 + I * 4, Value::unspecified());
+  return Value::pointer(A);
+}
+
+void gcache::objectValueSlots(ObjectTag Tag, uint32_t PayloadWords,
+                              uint32_t &First, uint32_t &Count) {
+  switch (Tag) {
+  case ObjectTag::Pair:
+  case ObjectTag::Vector:
+  case ObjectTag::Cell:
+    First = 0;
+    Count = PayloadWords;
+    return;
+  case ObjectTag::Symbol:
+    First = 0;
+    Count = 2; // Name pointer + global value; the hash is raw.
+    return;
+  case ObjectTag::Closure:
+    First = 1; // Slot 0 is the code id (a fixnum; safe either way).
+    Count = PayloadWords - 1;
+    return;
+  case ObjectTag::HashTable:
+    First = 0;
+    Count = 1; // Buckets pointer; count and epoch are raw fixnums.
+    return;
+  case ObjectTag::String:
+  case ObjectTag::Flonum:
+  case ObjectTag::Forward:
+  case ObjectTag::FreeChunk:
+    First = 0;
+    Count = 0;
+    return;
+  }
+  First = 0;
+  Count = 0;
+}
+
+uint32_t gcache::stringLength(Heap &H, Value Str) {
+  assert(isString(H, Str) && "not a string");
+  return H.load(Str.asPointer() + 4);
+}
+
+char gcache::stringRef(Heap &H, Value Str, uint32_t I) {
+  Address A = Str.asPointer();
+  uint32_t Word = H.load(A + 8 + (I / 4) * 4);
+  return static_cast<char>((Word >> ((I % 4) * 8)) & 0xff);
+}
+
+std::string gcache::readString(Heap &H, Value Str) {
+  uint32_t Len = stringLength(H, Str);
+  std::string Out;
+  Out.reserve(Len);
+  Address A = Str.asPointer();
+  for (uint32_t W = 0; W * 4 < Len; ++W) {
+    uint32_t Packed = H.load(A + 8 + W * 4);
+    for (uint32_t B = 0; B != 4 && W * 4 + B < Len; ++B)
+      Out.push_back(static_cast<char>((Packed >> (B * 8)) & 0xff));
+  }
+  return Out;
+}
+
+double gcache::flonumValue(Heap &H, Value F) {
+  assert(isFlonum(H, F) && "not a flonum");
+  Address A = F.asPointer();
+  uint64_t Bits = static_cast<uint64_t>(H.load(A + 4)) |
+                  (static_cast<uint64_t>(H.load(A + 8)) << 32);
+  double D;
+  std::memcpy(&D, &Bits, sizeof(D));
+  return D;
+}

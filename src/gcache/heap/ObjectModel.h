@@ -1,0 +1,234 @@
+//===- ObjectModel.h - Heap object layout and accessors ---------*- C++ -*-===//
+//
+// Part of the gcache project (Reinhold, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Layout of heap-allocated Scheme objects. Every object is a header word
+/// followed by its payload:
+///
+///   header = tag (bits 7..0) | payload-size-in-words << 8
+///
+///   Pair      [car, cdr]
+///   Vector    [e0 .. e(n-1)]
+///   String    [byte-length, packed chars (4 per word)]
+///   Symbol    [name (string ptr), global value, precomputed hash]
+///   Flonum    [low word, high word] of an IEEE double
+///   Cell      [value]                (boxed assignable variable)
+///   HashTable [buckets (vector ptr), entry count, gc epoch]
+///   Closure   [code id (fixnum), free0 .. free(n-1)]
+///   Forward   [new address]          (Cheney broken heart)
+///
+/// Most Scheme objects are a few words long, so a 16-to-256-byte memory
+/// block typically holds several objects, exactly the §7 setting.
+///
+/// Allocation goes through the Allocator interface so the same code runs
+/// with no collector, the Cheney collector, or the generational collector.
+/// GC DISCIPLINE: Allocator::allocate may run a collection that moves
+/// objects, so callers must not hold unrooted Value pointers across it;
+/// the VM keeps operands on the (scanned) simulated stack until after the
+/// allocation completes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCACHE_HEAP_OBJECTMODEL_H
+#define GCACHE_HEAP_OBJECTMODEL_H
+
+#include "gcache/heap/Heap.h"
+#include "gcache/heap/Value.h"
+
+#include <string>
+
+namespace gcache {
+
+/// Heap object type codes (header bits 7..0). No tag has low bits 0b11:
+/// a forwarded object's header is its new address | 0b11 (addresses are
+/// word-aligned, so their low bits are 0b00), letting the collectors
+/// forward even one-word objects in place without a separate broken-heart
+/// word. ObjectTag::Forward exists only for diagnostics.
+enum class ObjectTag : uint8_t {
+  Pair = 1,
+  Vector = 2,
+  String = 4,
+  Symbol = 5,
+  Flonum = 6,
+  Cell = 8,
+  HashTable = 9,
+  Closure = 10,
+  Forward = 12,
+  /// A free-list chunk (mark-sweep heaps): payload word 0 holds the raw
+  /// address of the next chunk in its size class, the rest is unused.
+  FreeChunk = 13,
+};
+
+/// True if \p Header is a forwarding word left by a moving collector.
+inline bool isForwardedHeader(uint32_t Header) { return (Header & 3) == 3; }
+/// The relocated address encoded in a forwarding word.
+inline Address forwardTarget(uint32_t Header) { return Header & ~3u; }
+/// Builds a forwarding word pointing at \p NewAddr.
+inline uint32_t makeForwardHeader(Address NewAddr) {
+  assert((NewAddr & 3) == 0 && "unaligned forwarding target");
+  return NewAddr | 3u;
+}
+
+/// Source of fresh heap storage; implemented by the collectors.
+class Allocator {
+public:
+  virtual ~Allocator();
+
+  /// Returns the address of \p Words fresh words in the dynamic area. May
+  /// trigger a garbage collection (moving objects) before returning.
+  virtual Address allocate(uint32_t Words) = 0;
+};
+
+/// Trivial allocator for collector-free runs: bumps the heap's unbounded
+/// dynamic area (the §5 control experiment).
+class BumpAllocator final : public Allocator {
+public:
+  explicit BumpAllocator(Heap &H) : H(H) {}
+  Address allocate(uint32_t Words) override {
+    return H.allocDynamicRaw(Words);
+  }
+
+private:
+  Heap &H;
+};
+
+//===--- Header encoding ----------------------------------------------------//
+
+inline uint32_t makeHeader(ObjectTag Tag, uint32_t PayloadWords) {
+  assert(PayloadWords < (1u << 24) && "object too large");
+  return static_cast<uint32_t>(Tag) | (PayloadWords << 8);
+}
+inline ObjectTag headerTag(uint32_t Header) {
+  return static_cast<ObjectTag>(Header & 0xff);
+}
+inline uint32_t headerPayloadWords(uint32_t Header) { return Header >> 8; }
+/// Total object size including the header word.
+inline uint32_t headerObjectWords(uint32_t Header) {
+  return 1 + headerPayloadWords(Header);
+}
+
+/// Reads the tag of the object at \p A without tracing (for assertions).
+inline ObjectTag peekTag(const Heap &H, Address A) {
+  return headerTag(H.peek(A));
+}
+
+//===--- Object constructors -------------------------------------------------//
+// Each returns a tagged pointer Value. The make* forms allocate via an
+// Allocator (see the GC discipline note above); the init* forms write into
+// pre-allocated storage.
+
+Value initPair(Heap &H, Address A, Value Car, Value Cdr);
+Value makePair(Heap &H, Allocator &Alloc, Value Car, Value Cdr);
+
+Value initVector(Heap &H, Address A, uint32_t Len, Value Fill);
+Value makeVector(Heap &H, Allocator &Alloc, uint32_t Len, Value Fill);
+
+Value makeString(Heap &H, Allocator &Alloc, const std::string &S);
+Value makeFlonum(Heap &H, Allocator &Alloc, double D);
+Value makeCell(Heap &H, Allocator &Alloc, Value V);
+Value makeClosure(Heap &H, Allocator &Alloc, uint32_t CodeId,
+                  uint32_t NumFree);
+
+//===--- Typed accessors (traced) --------------------------------------------//
+
+inline Value carOf(Heap &H, Value Pair) {
+  return H.loadValue(Pair.asPointer() + 4);
+}
+inline Value cdrOf(Heap &H, Value Pair) {
+  return H.loadValue(Pair.asPointer() + 8);
+}
+inline void setCar(Heap &H, Value Pair, Value V) {
+  H.storeValue(Pair.asPointer() + 4, V);
+}
+inline void setCdr(Heap &H, Value Pair, Value V) {
+  H.storeValue(Pair.asPointer() + 8, V);
+}
+
+/// Length of the vector at \p V (reads the header: one load).
+inline uint32_t vectorLength(Heap &H, Value V) {
+  return headerPayloadWords(H.load(V.asPointer()));
+}
+inline Value vectorRef(Heap &H, Value V, uint32_t I) {
+  return H.loadValue(V.asPointer() + 4 + I * 4);
+}
+inline void vectorSet(Heap &H, Value V, uint32_t I, Value X) {
+  H.storeValue(V.asPointer() + 4 + I * 4, X);
+}
+
+inline Value cellRef(Heap &H, Value C) {
+  return H.loadValue(C.asPointer() + 4);
+}
+inline void cellSet(Heap &H, Value C, Value V) {
+  H.storeValue(C.asPointer() + 4, V);
+}
+
+/// Reads a simulated string back into host memory (traced loads).
+std::string readString(Heap &H, Value Str);
+/// String byte length (one load).
+uint32_t stringLength(Heap &H, Value Str);
+/// Character at byte index \p I.
+char stringRef(Heap &H, Value Str, uint32_t I);
+
+double flonumValue(Heap &H, Value F);
+
+//===--- Type predicates (untraced header peeks) -----------------------------//
+// Type checks model the T system's tag checks, which inspect the pointer
+// tag and header; we do not charge a memory reference for them (headers of
+// recently touched objects sit in registers in real systems).
+
+inline bool isObject(const Heap &H, Value V, ObjectTag Tag) {
+  return V.isPointer() && peekTag(H, V.asPointer()) == Tag;
+}
+inline bool isPair(const Heap &H, Value V) {
+  return isObject(H, V, ObjectTag::Pair);
+}
+inline bool isVector(const Heap &H, Value V) {
+  return isObject(H, V, ObjectTag::Vector);
+}
+inline bool isString(const Heap &H, Value V) {
+  return isObject(H, V, ObjectTag::String);
+}
+inline bool isSymbol(const Heap &H, Value V) {
+  return isObject(H, V, ObjectTag::Symbol);
+}
+inline bool isFlonum(const Heap &H, Value V) {
+  return isObject(H, V, ObjectTag::Flonum);
+}
+inline bool isClosure(const Heap &H, Value V) {
+  return isObject(H, V, ObjectTag::Closure);
+}
+
+//===--- GC support ------------------------------------------------------===//
+
+/// Computes which payload slots of an object hold tagged values (the slots
+/// a collector must trace), as [First, First+Count). The other payload
+/// words are raw (string bytes, flonum bits, hashes, counters).
+void objectValueSlots(ObjectTag Tag, uint32_t PayloadWords, uint32_t &First,
+                      uint32_t &Count);
+
+//===--- Symbol layout --------------------------------------------------------//
+// Symbols are interned in the static area by the VM; their second payload
+// word is the global variable cell the compiler references.
+
+constexpr uint32_t SymbolNameSlot = 4;   ///< Offset of the name pointer.
+constexpr uint32_t SymbolValueSlot = 8;  ///< Offset of the global value.
+constexpr uint32_t SymbolHashSlot = 12;  ///< Offset of the cached hash.
+
+//===--- Closure layout -------------------------------------------------------//
+
+inline uint32_t closureCodeId(Heap &H, Value C) {
+  return static_cast<uint32_t>(H.loadValue(C.asPointer() + 4).asFixnum());
+}
+inline Value closureFree(Heap &H, Value C, uint32_t I) {
+  return H.loadValue(C.asPointer() + 8 + I * 4);
+}
+inline void closureSetFree(Heap &H, Value C, uint32_t I, Value V) {
+  H.storeValue(C.asPointer() + 8 + I * 4, V);
+}
+
+} // namespace gcache
+
+#endif // GCACHE_HEAP_OBJECTMODEL_H

@@ -1,0 +1,107 @@
+//===- Value.h - Tagged Scheme values ---------------------------*- C++ -*-===//
+//
+// Part of the gcache project (Reinhold, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The simulated machine's word-sized tagged value representation, in the
+/// style of the T system on a 32-bit MIPS: low two bits select fixnum,
+/// heap pointer, or immediate. All Scheme data the VM manipulates — and
+/// everything the collectors copy — is a Value.
+///
+///   bits 1..0 = 00  fixnum, signed 30-bit payload in bits 31..2
+///   bits 1..0 = 01  pointer; the referent address is Bits & ~3
+///                   (object addresses are 4-byte aligned)
+///   bits 1..0 = 10  immediate; bits 7..2 select the subtype, payload in
+///                   bits 31..8 (character code points)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCACHE_HEAP_VALUE_H
+#define GCACHE_HEAP_VALUE_H
+
+#include "gcache/trace/Event.h"
+
+#include <cassert>
+#include <cstdint>
+
+namespace gcache {
+
+/// Immediate subtypes (bits 7..2 when the low tag is 10).
+enum class Imm : uint8_t {
+  Nil = 0,         ///< The empty list '().
+  False = 1,
+  True = 2,
+  Char = 3,
+  Unspecified = 4, ///< Result of set! and friends.
+  Eof = 5,
+  Unbound = 6,     ///< Marks an undefined global variable.
+};
+
+/// One tagged machine word.
+struct Value {
+  uint32_t Bits = 0b10; // Nil by default.
+
+  //===--- Constructors --------------------------------------------------===//
+
+  static Value fixnum(int32_t N) {
+    assert(N >= MinFixnum && N <= MaxFixnum && "fixnum overflow");
+    return {static_cast<uint32_t>(N) << 2};
+  }
+  static Value pointer(Address A) {
+    assert((A & 3) == 0 && "object addresses are word-aligned");
+    return {A | 1};
+  }
+  static Value immediate(Imm Sub, uint32_t Payload = 0) {
+    return {(Payload << 8) | (static_cast<uint32_t>(Sub) << 2) | 0b10};
+  }
+  static Value nil() { return immediate(Imm::Nil); }
+  static Value boolean(bool B) {
+    return immediate(B ? Imm::True : Imm::False);
+  }
+  static Value character(uint32_t CodePoint) {
+    return immediate(Imm::Char, CodePoint);
+  }
+  static Value unspecified() { return immediate(Imm::Unspecified); }
+  static Value eof() { return immediate(Imm::Eof); }
+  static Value unbound() { return immediate(Imm::Unbound); }
+
+  //===--- Predicates -----------------------------------------------------===//
+
+  bool isFixnum() const { return (Bits & 3) == 0; }
+  bool isPointer() const { return (Bits & 3) == 1; }
+  bool isImmediate() const { return (Bits & 3) == 2; }
+  bool isImm(Imm Sub) const {
+    return isImmediate() && ((Bits >> 2) & 0x3f) == static_cast<uint32_t>(Sub);
+  }
+  bool isNil() const { return isImm(Imm::Nil); }
+  bool isChar() const { return isImm(Imm::Char); }
+  bool isFalse() const { return isImm(Imm::False); }
+  /// Scheme truth: everything except #f is true.
+  bool isTruthy() const { return !isFalse(); }
+
+  //===--- Accessors ------------------------------------------------------===//
+
+  int32_t asFixnum() const {
+    assert(isFixnum() && "not a fixnum");
+    return static_cast<int32_t>(Bits) >> 2;
+  }
+  Address asPointer() const {
+    assert(isPointer() && "not a pointer");
+    return Bits & ~3u;
+  }
+  uint32_t charCode() const {
+    assert(isChar() && "not a character");
+    return Bits >> 8;
+  }
+
+  bool operator==(const Value &O) const { return Bits == O.Bits; }
+
+  static constexpr int32_t MaxFixnum = (1 << 29) - 1;
+  static constexpr int32_t MinFixnum = -(1 << 29);
+};
+
+} // namespace gcache
+
+#endif // GCACHE_HEAP_VALUE_H

@@ -1,0 +1,138 @@
+//===- Cache.cpp - Trace-driven data-cache simulator ----------------------===//
+
+#include "gcache/memsys/Cache.h"
+
+#include <bit>
+#include <cassert>
+
+using namespace gcache;
+
+Cache::Cache(const CacheConfig &Config) : Config(Config) {
+  assert(Config.isValid() && "invalid cache geometry");
+  SetMask = Config.numSets() - 1;
+  BlockShift = std::bit_width(Config.BlockBytes) - 1;
+  uint32_t Words = Config.wordsPerBlock();
+  FullMask = Words == 64 ? ~0ull : ((1ull << Words) - 1);
+  Lines.assign(static_cast<size_t>(Config.numSets()) * Config.Ways, Line());
+  if (Config.TrackPerBlockStats) {
+    BlockRefs.assign(Config.numSets(), 0);
+    BlockMisses.assign(Config.numSets(), 0);
+    BlockFetchMisses.assign(Config.numSets(), 0);
+  }
+}
+
+void Cache::reset() {
+  for (Line &L : Lines)
+    L = Line();
+  Counts[0] = CacheCounters();
+  Counts[1] = CacheCounters();
+  LruClock = 0;
+  if (Config.TrackPerBlockStats) {
+    BlockRefs.assign(Config.numSets(), 0);
+    BlockMisses.assign(Config.numSets(), 0);
+    BlockFetchMisses.assign(Config.numSets(), 0);
+  }
+}
+
+void Cache::noteBlockStats(uint32_t SetIdx, bool Miss, bool FetchMiss) {
+  if (!Config.TrackPerBlockStats)
+    return;
+  ++BlockRefs[SetIdx];
+  if (Miss)
+    ++BlockMisses[SetIdx];
+  if (FetchMiss)
+    ++BlockFetchMisses[SetIdx];
+}
+
+AccessResult Cache::access(const Ref &R) {
+  CacheCounters &C = Counts[static_cast<unsigned>(R.ExecPhase)];
+  bool IsStore = R.Kind == AccessKind::Store;
+  if (IsStore)
+    ++C.Stores;
+  else
+    ++C.Loads;
+  if (IsStore && Config.WriteHit == WriteHitPolicy::WriteThrough)
+    ++C.WriteThroughs;
+
+  uint32_t BlockIdx = R.Addr >> BlockShift;
+  uint32_t SetIdx = BlockIdx & SetMask;
+  // SetMask+1 is numSets (a power of two), so this divide is a shift.
+  uint32_t Tag = BlockIdx / (SetMask + 1);
+  uint64_t WordBit = 1ull << ((R.Addr & (Config.BlockBytes - 1)) >> 2);
+
+  Line *Set = setBase(SetIdx);
+  Line *Found = nullptr;
+  Line *Victim = Set;
+  for (uint32_t W = 0; W != Config.Ways; ++W) {
+    Line &L = Set[W];
+    if (L.ValidMask != 0 && L.Tag == Tag) {
+      Found = &L;
+      break;
+    }
+    if (L.ValidMask == 0) {
+      Victim = &L; // Prefer an empty way.
+    } else if (Victim->ValidMask != 0 && L.LruStamp < Victim->LruStamp) {
+      Victim = &L;
+    }
+  }
+  ++LruClock;
+
+  bool TrackDirty = Config.WriteHit == WriteHitPolicy::WriteBack;
+
+  if (Found) {
+    Found->LruStamp = LruClock;
+    if (IsStore) {
+      // Stores always complete in one cycle: under write-validate they
+      // validate the word; under fetch-on-write, a hit already has the
+      // block resident.
+      Found->ValidMask |= WordBit;
+      if (TrackDirty)
+        Found->Dirty = true;
+      noteBlockStats(SetIdx, /*Miss=*/false, /*FetchMiss=*/false);
+      return AccessResult::Hit;
+    }
+    if (Found->ValidMask & WordBit) {
+      noteBlockStats(SetIdx, /*Miss=*/false, /*FetchMiss=*/false);
+      return AccessResult::Hit;
+    }
+    // Sub-block read miss: the block is resident but this word was never
+    // fetched (write-validate left it invalid). Fetch the whole block.
+    Found->ValidMask = FullMask;
+    ++C.FetchMisses;
+    noteBlockStats(SetIdx, /*Miss=*/true, /*FetchMiss=*/true);
+    return AccessResult::FetchMiss;
+  }
+
+  // Block miss: evict the victim (writing it back if dirty) and install
+  // the new block.
+  if (Victim->ValidMask != 0 && Victim->Dirty)
+    ++C.Writebacks;
+  Victim->Tag = Tag;
+  Victim->LruStamp = LruClock;
+  Victim->Dirty = false;
+
+  bool FetchOnWrite = Config.WriteMiss == WriteMissPolicy::FetchOnWrite ||
+                      (Config.CollectorFetchOnWrite &&
+                       R.ExecPhase == Phase::Collector);
+  if (IsStore && !FetchOnWrite) {
+    Victim->ValidMask = WordBit;
+    if (TrackDirty)
+      Victim->Dirty = true;
+    ++C.NoFetchMisses;
+    noteBlockStats(SetIdx, /*Miss=*/true, /*FetchMiss=*/false);
+    return AccessResult::NoFetchWriteMiss;
+  }
+
+  Victim->ValidMask = FullMask;
+  if (IsStore && TrackDirty)
+    Victim->Dirty = true;
+  ++C.FetchMisses;
+  noteBlockStats(SetIdx, /*Miss=*/true, /*FetchMiss=*/true);
+  return AccessResult::FetchMiss;
+}
+
+CacheCounters Cache::totalCounters() const {
+  CacheCounters T = Counts[0];
+  T += Counts[1];
+  return T;
+}

@@ -1,0 +1,130 @@
+//===- Cache.h - Trace-driven data-cache simulator --------------*- C++ -*-===//
+//
+// Part of the gcache project (Reinhold, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The trace-driven cache simulator behind every experiment. It models a
+/// virtually-indexed, N-way (default direct-mapped) data cache with
+/// word-granularity sub-block validity so that the write-validate policy of
+/// §4 is exact: a write miss allocates the block without fetching and marks
+/// only the written word valid; a later load of a still-invalid word is a
+/// sub-block read miss that fetches the whole block.
+///
+/// Statistics are kept per execution phase (mutator vs. collector) so the
+/// §6 accounting can separate the collector's misses (M_gc) and its effect
+/// on the program's misses (ΔM_prog) from the control run. Misses are
+/// divided into *fetch* misses (which stall the processor for the miss
+/// penalty) and *no-fetch* write misses (write-validate allocations, which
+/// do not stall); the §7 miss plots count both, while O_cache charges only
+/// the former, following §5.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCACHE_MEMSYS_CACHE_H
+#define GCACHE_MEMSYS_CACHE_H
+
+#include "gcache/memsys/CacheConfig.h"
+#include "gcache/trace/Event.h"
+
+#include <vector>
+
+namespace gcache {
+
+/// Outcome of one cache access.
+enum class AccessResult : uint8_t {
+  Hit,            ///< Word present; one-cycle access, no stall.
+  FetchMiss,      ///< Memory block fetched; processor stalls for the penalty.
+  NoFetchWriteMiss ///< Write-validate allocation; block claimed, no fetch.
+};
+
+/// Per-phase hit/miss counters.
+struct CacheCounters {
+  uint64_t Loads = 0;
+  uint64_t Stores = 0;
+  uint64_t FetchMisses = 0;   ///< Penalty-bearing misses (reads + FoW writes).
+  uint64_t NoFetchMisses = 0; ///< Write-validate write misses (allocations).
+  uint64_t Writebacks = 0;    ///< Dirty evictions (write-back caches).
+  uint64_t WriteThroughs = 0; ///< Stores sent to memory (write-through).
+
+  uint64_t refs() const { return Loads + Stores; }
+  uint64_t allMisses() const { return FetchMisses + NoFetchMisses; }
+
+  CacheCounters &operator+=(const CacheCounters &O) {
+    Loads += O.Loads;
+    Stores += O.Stores;
+    FetchMisses += O.FetchMisses;
+    NoFetchMisses += O.NoFetchMisses;
+    Writebacks += O.Writebacks;
+    WriteThroughs += O.WriteThroughs;
+    return *this;
+  }
+};
+
+/// One simulated cache. Also a TraceSink, so it can be wired directly onto
+/// the trace bus of a program run.
+class Cache final : public TraceSink {
+public:
+  explicit Cache(const CacheConfig &Config);
+
+  const CacheConfig &config() const { return Config; }
+
+  /// Simulates one reference and returns its outcome.
+  AccessResult access(const Ref &R);
+
+  /// TraceSink entry point: simulate and discard the outcome.
+  void onRef(const Ref &R) override { (void)access(R); }
+
+  /// Resets contents and statistics to the post-construction state.
+  void reset();
+
+  /// Counters for one phase, and their sum.
+  const CacheCounters &counters(Phase P) const {
+    return Counts[static_cast<unsigned>(P)];
+  }
+  CacheCounters totalCounters() const;
+
+  /// Per-cache-block statistics (valid only with TrackPerBlockStats). The
+  /// index is the cache block index 0..numBlocks()-1; for N-way caches a
+  /// "block" here is a set.
+  const std::vector<uint64_t> &perBlockRefs() const { return BlockRefs; }
+  const std::vector<uint64_t> &perBlockMisses() const { return BlockMisses; }
+  /// Per-cache-block misses excluding write-validate allocation misses, as
+  /// used by the paper's local-miss-ratio graphs ("excluding allocation
+  /// misses").
+  const std::vector<uint64_t> &perBlockFetchMisses() const {
+    return BlockFetchMisses;
+  }
+
+  /// Cache block (set) index a byte address maps to.
+  uint32_t setIndexOf(Address Addr) const {
+    return (Addr / Config.BlockBytes) & SetMask;
+  }
+
+private:
+  struct Line {
+    uint32_t Tag = 0;
+    uint64_t ValidMask = 0; ///< Bit per word; 0 means the line is empty.
+    bool Dirty = false;
+    uint32_t LruStamp = 0;
+  };
+
+  Line *setBase(uint32_t SetIdx) { return &Lines[SetIdx * Config.Ways]; }
+  void noteBlockStats(uint32_t SetIdx, bool Miss, bool FetchMiss);
+
+  CacheConfig Config;
+  uint32_t SetMask;
+  uint32_t BlockShift;
+  uint64_t FullMask;
+  uint32_t LruClock = 0;
+  std::vector<Line> Lines;
+  CacheCounters Counts[2];
+  std::vector<uint64_t> BlockRefs;
+  std::vector<uint64_t> BlockMisses;
+  std::vector<uint64_t> BlockFetchMisses;
+};
+
+} // namespace gcache
+
+#endif // GCACHE_MEMSYS_CACHE_H

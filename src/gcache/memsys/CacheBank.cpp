@@ -1,0 +1,43 @@
+//===- CacheBank.cpp - Simulate many cache configs in one pass ------------===//
+
+#include "gcache/memsys/CacheBank.h"
+
+using namespace gcache;
+
+size_t CacheBank::addConfig(const CacheConfig &Config) {
+  Caches.push_back(std::make_unique<Cache>(Config));
+  return Caches.size() - 1;
+}
+
+void CacheBank::addPaperGrid(const CacheConfig &Prototype) {
+  for (uint32_t Size : paperCacheSizes())
+    for (uint32_t Block : paperBlockSizes()) {
+      CacheConfig C = Prototype;
+      C.SizeBytes = Size;
+      C.BlockBytes = Block;
+      addConfig(C);
+    }
+}
+
+void CacheBank::addSizeSweep(const CacheConfig &Prototype,
+                             uint32_t BlockBytes) {
+  for (uint32_t Size : paperCacheSizes()) {
+    CacheConfig C = Prototype;
+    C.SizeBytes = Size;
+    C.BlockBytes = BlockBytes;
+    addConfig(C);
+  }
+}
+
+const Cache *CacheBank::find(uint32_t SizeBytes, uint32_t BlockBytes) const {
+  for (const auto &C : Caches)
+    if (C->config().SizeBytes == SizeBytes &&
+        C->config().BlockBytes == BlockBytes)
+      return C.get();
+  return nullptr;
+}
+
+void CacheBank::resetAll() {
+  for (auto &C : Caches)
+    C->reset();
+}

@@ -1,0 +1,29 @@
+//===- MemoryTiming.cpp - Main-memory and processor timing ----------------===//
+
+#include "gcache/memsys/MemoryTiming.h"
+
+#include <cassert>
+
+using namespace gcache;
+
+uint64_t MemoryTiming::missPenaltyNs(uint32_t BlockBytes) const {
+  assert(BlockBytes > 0 && "block must be nonempty");
+  uint64_t Bursts = (BlockBytes + 15) / 16;
+  return AddressSetupNs + AccessNs + Bursts * TransferNsPer16B;
+}
+
+uint64_t MemoryTiming::writebackNs(uint32_t BlockBytes) const {
+  assert(BlockBytes > 0 && "block must be nonempty");
+  uint64_t Bursts = (BlockBytes + 15) / 16;
+  return AddressSetupNs + Bursts * TransferNsPer16B;
+}
+
+uint64_t ProcessorModel::missPenaltyCycles(const MemoryTiming &Mem,
+                                           uint32_t BlockBytes) const {
+  assert(CycleNs > 0 && "cycle time must be positive");
+  uint64_t Ns = Mem.missPenaltyNs(BlockBytes);
+  return (Ns + CycleNs - 1) / CycleNs;
+}
+
+ProcessorModel ProcessorModel::slow() { return {"slow", 30}; }
+ProcessorModel ProcessorModel::fast() { return {"fast", 2}; }

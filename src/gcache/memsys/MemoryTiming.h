@@ -1,0 +1,56 @@
+//===- MemoryTiming.h - Main-memory and processor timing --------*- C++ -*-===//
+//
+// Part of the gcache project (Reinhold, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's temporal cost model (§5). Main memory follows Przybylski's
+/// system: a 30 ns address setup, a 180 ns access, and 30 ns per 16 bytes
+/// transferred, so fetching an n-byte block takes 210 + 30*ceil(n/16) ns.
+/// Two hypothetical processors convert nanoseconds to cycles: the "slow"
+/// 33 MHz machine (30 ns cycle) and the "fast" 500 MHz machine (2 ns
+/// cycle). Cache hits cost one cycle (no stall).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCACHE_MEMSYS_MEMORYTIMING_H
+#define GCACHE_MEMSYS_MEMORYTIMING_H
+
+#include <cstdint>
+#include <string>
+
+namespace gcache {
+
+/// Przybylski-style main-memory timing parameters, in nanoseconds.
+struct MemoryTiming {
+  uint32_t AddressSetupNs = 30;
+  uint32_t AccessNs = 180;
+  uint32_t TransferNsPer16B = 30;
+
+  /// Time to service a miss by fetching one \p BlockBytes memory block.
+  uint64_t missPenaltyNs(uint32_t BlockBytes) const;
+
+  /// Bus/transfer time alone for writing \p BlockBytes back to memory
+  /// (used for the write-overhead accounting, which the paper reports
+  /// separately and finds small).
+  uint64_t writebackNs(uint32_t BlockBytes) const;
+};
+
+/// A hypothetical processor: a name and a cycle time.
+struct ProcessorModel {
+  std::string Name;
+  uint32_t CycleNs;
+
+  /// Miss penalty in processor cycles for the given block size, rounded up.
+  uint64_t missPenaltyCycles(const MemoryTiming &Mem,
+                             uint32_t BlockBytes) const;
+
+  /// The paper's two machines.
+  static ProcessorModel slow(); ///< 33 MHz workstation: 30 ns cycle.
+  static ProcessorModel fast(); ///< 500 MHz near-future machine: 2 ns cycle.
+};
+
+} // namespace gcache
+
+#endif // GCACHE_MEMSYS_MEMORYTIMING_H

@@ -1,0 +1,47 @@
+//===- MultiLevelCache.cpp - Two-level cache hierarchies --------------------===//
+
+#include "gcache/memsys/MultiLevelCache.h"
+
+#include <cassert>
+
+using namespace gcache;
+
+MultiLevelCache::MultiLevelCache(const CacheConfig &L1Config,
+                                 const CacheConfig &L2Config)
+    : L1(L1Config), L2(L2Config) {
+  assert(L2Config.BlockBytes >= L1Config.BlockBytes &&
+         "L2 blocks must be at least as large as L1's");
+  assert(L2Config.SizeBytes >= L1Config.SizeBytes &&
+         "L2 must be at least as large as L1");
+}
+
+int MultiLevelCache::access(const Ref &R) {
+  AccessResult R1 = L1.access(R);
+  if (R1 == AccessResult::Hit)
+    return 0;
+  if (R1 == AccessResult::NoFetchWriteMiss)
+    return 0; // Write-validate allocation: no fill, L2 untouched.
+
+  // L1 fetch miss: the fill probes L2 as a read of the block's base.
+  Ref Fill{R.Addr, AccessKind::Load, R.ExecPhase};
+  AccessResult R2 = L2.access(Fill);
+  if (R2 == AccessResult::Hit) {
+    ++FillsFromL2;
+    return 1;
+  }
+  ++FillsFromL2;
+  ++MemoryFetches;
+  return 2;
+}
+
+double MultiLevelCache::overhead(const MemoryTiming &Mem,
+                                 const ProcessorModel &Proc,
+                                 const L2Timing &L2T,
+                                 uint64_t Instructions) const {
+  assert(Instructions > 0 && "need the instruction count");
+  uint64_t PL2 = L2T.l2HitCycles(Proc.CycleNs, L1.config().BlockBytes);
+  uint64_t PMem = Proc.missPenaltyCycles(Mem, L2.config().BlockBytes);
+  double Cycles = static_cast<double>(FillsFromL2) * PL2 +
+                  static_cast<double>(MemoryFetches) * PMem;
+  return Cycles / static_cast<double>(Instructions);
+}

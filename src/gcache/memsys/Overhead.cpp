@@ -1,0 +1,35 @@
+//===- Overhead.cpp - The paper's temporal overhead metrics ---------------===//
+
+#include "gcache/memsys/Overhead.h"
+
+#include <cassert>
+
+using namespace gcache;
+
+double gcache::cacheOverhead(uint64_t FetchMisses, uint64_t PenaltyCycles,
+                             uint64_t Instructions) {
+  assert(Instructions > 0 && "idealized running time must be positive");
+  return static_cast<double>(FetchMisses) * static_cast<double>(PenaltyCycles) /
+         static_cast<double>(Instructions);
+}
+
+double gcache::writeOverhead(uint64_t Writebacks, uint64_t WritebackNs,
+                             uint32_t CycleNs, uint64_t Instructions) {
+  assert(Instructions > 0 && CycleNs > 0);
+  double Cycles = static_cast<double>(Writebacks) *
+                  (static_cast<double>(WritebackNs) / CycleNs);
+  return Cycles / static_cast<double>(Instructions);
+}
+
+double gcache::gcOverhead(const GcOverheadInputs &In) {
+  assert(In.MutatorInstructions > 0 && "need the program's instruction count");
+  double DeltaMProg = static_cast<double>(In.MutatorFetchMissesWithGc) -
+                      static_cast<double>(In.MutatorFetchMissesControl);
+  double MissCycles = (static_cast<double>(In.CollectorFetchMisses) +
+                       DeltaMProg) *
+                      static_cast<double>(In.PenaltyCycles);
+  double InstrCycles = static_cast<double>(In.CollectorInstructions) +
+                       static_cast<double>(In.ExtraMutatorInstructions);
+  return (MissCycles + InstrCycles) /
+         static_cast<double>(In.MutatorInstructions);
+}

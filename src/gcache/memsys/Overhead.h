@@ -1,0 +1,73 @@
+//===- Overhead.h - The paper's temporal overhead metrics -------*- C++ -*-===//
+//
+// Part of the gcache project (Reinhold, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The two metrics the paper's conclusions rest on.
+///
+/// Cache overhead (§5): O_cache = (M_prog * P) / I_prog, the time spent
+/// waiting for misses as a fraction of the idealized running time (one
+/// instruction per cycle, no misses). M_prog counts penalty-bearing
+/// (fetch) misses; P is the miss penalty in cycles.
+///
+/// Garbage-collection overhead (§6):
+///   O_gc = ((M_gc + ΔM_prog) * P + I_gc + ΔI_prog) / I_prog
+/// where M_gc and I_gc are the collector's own misses and instructions,
+/// ΔM_prog is the change in the *program's* misses relative to the control
+/// run in the same cache (negative when the collector improves the
+/// program's locality), and ΔI_prog is extra program work caused by the
+/// collector (address-keyed hash-table rehashing in T). O_gc can be
+/// negative. Total running time is (O_cache + O_gc + 1) * I_prog.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCACHE_MEMSYS_OVERHEAD_H
+#define GCACHE_MEMSYS_OVERHEAD_H
+
+#include "gcache/memsys/Cache.h"
+#include "gcache/memsys/MemoryTiming.h"
+
+namespace gcache {
+
+/// Inputs shared by both metrics: the machine.
+struct Machine {
+  MemoryTiming Memory;
+  ProcessorModel Processor;
+
+  uint64_t penaltyCycles(uint32_t BlockBytes) const {
+    return Processor.missPenaltyCycles(Memory, BlockBytes);
+  }
+};
+
+/// O_cache for a control (or mutator-phase) measurement.
+/// \p FetchMisses is the number of penalty-bearing misses, \p Instructions
+/// the program's instruction count.
+double cacheOverhead(uint64_t FetchMisses, uint64_t PenaltyCycles,
+                     uint64_t Instructions);
+
+/// Write overhead of a write-back cache: time spent writing dirty blocks
+/// back, as a fraction of idealized running time. The paper measures this
+/// separately from O_cache and reports it small (§5).
+double writeOverhead(uint64_t Writebacks, uint64_t WritebackNs,
+                     uint32_t CycleNs, uint64_t Instructions);
+
+/// Everything needed to evaluate O_gc for one (program, collector, cache)
+/// combination.
+struct GcOverheadInputs {
+  uint64_t CollectorFetchMisses = 0; ///< M_gc.
+  uint64_t MutatorFetchMissesWithGc = 0;
+  uint64_t MutatorFetchMissesControl = 0; ///< Same cache, collector off.
+  uint64_t CollectorInstructions = 0;     ///< I_gc.
+  uint64_t ExtraMutatorInstructions = 0;  ///< ΔI_prog (rehashing).
+  uint64_t MutatorInstructions = 0;       ///< I_prog.
+  uint64_t PenaltyCycles = 1;             ///< P.
+};
+
+/// Computes O_gc (may be negative).
+double gcOverhead(const GcOverheadInputs &In);
+
+} // namespace gcache
+
+#endif // GCACHE_MEMSYS_OVERHEAD_H

@@ -1,0 +1,65 @@
+//===- Options.cpp - Minimal command-line option parsing ------------------===//
+
+#include "gcache/support/Options.h"
+
+#include <cstdlib>
+#include <string_view>
+
+using namespace gcache;
+
+Options Options::parse(int Argc, char **Argv) {
+  Options O;
+  for (int I = 1; I < Argc; ++I) {
+    std::string_view Arg = Argv[I];
+    if (!Arg.starts_with("--"))
+      continue;
+    Arg.remove_prefix(2);
+    auto Eq = Arg.find('=');
+    if (Eq != std::string_view::npos) {
+      O.Values[std::string(Arg.substr(0, Eq))] = std::string(Arg.substr(Eq + 1));
+      continue;
+    }
+    // "--name value" when the next token is not itself a flag.
+    if (I + 1 < Argc && std::string_view(Argv[I + 1]).substr(0, 2) != "--") {
+      O.Values[std::string(Arg)] = Argv[I + 1];
+      ++I;
+      continue;
+    }
+    O.Values[std::string(Arg)] = "1";
+  }
+  return O;
+}
+
+std::string Options::get(const std::string &Name,
+                         const std::string &Default) const {
+  auto It = Values.find(Name);
+  if (It != Values.end())
+    return It->second;
+  std::string Env = "GCACHE_";
+  for (char C : Name)
+    Env += static_cast<char>(C == '-' ? '_' : toupper(C));
+  if (const char *V = std::getenv(Env.c_str()))
+    return V;
+  return Default;
+}
+
+double Options::getDouble(const std::string &Name, double Default) const {
+  std::string V = get(Name, "");
+  return V.empty() ? Default : std::strtod(V.c_str(), nullptr);
+}
+
+long Options::getInt(const std::string &Name, long Default) const {
+  std::string V = get(Name, "");
+  return V.empty() ? Default : std::strtol(V.c_str(), nullptr, 0);
+}
+
+bool Options::getBool(const std::string &Name, bool Default) const {
+  std::string V = get(Name, "");
+  if (V.empty())
+    return Default;
+  return V != "0" && V != "false" && V != "no";
+}
+
+bool Options::has(const std::string &Name) const {
+  return !get(Name, "").empty();
+}

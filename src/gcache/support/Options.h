@@ -1,0 +1,45 @@
+//===- Options.h - Minimal command-line option parsing ----------*- C++ -*-===//
+//
+// Part of the gcache project (Reinhold, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tiny flag parser shared by the bench and example binaries. Supports
+/// "--name value", "--name=value", and bare "--name" booleans, plus an
+/// environment-variable fallback so `GCACHE_SCALE=2 bench/...` works for a
+/// whole sweep without editing command lines.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCACHE_SUPPORT_OPTIONS_H
+#define GCACHE_SUPPORT_OPTIONS_H
+
+#include <map>
+#include <string>
+
+namespace gcache {
+
+/// Parsed command-line flags with typed accessors and env fallbacks.
+class Options {
+public:
+  /// Parses argv; unknown flags are collected verbatim (no error), so each
+  /// binary only declares the flags it reads.
+  static Options parse(int Argc, char **Argv);
+
+  /// Returns the flag value, or the GCACHE_<NAME> environment variable, or
+  /// \p Default.
+  std::string get(const std::string &Name, const std::string &Default) const;
+
+  double getDouble(const std::string &Name, double Default) const;
+  long getInt(const std::string &Name, long Default) const;
+  bool getBool(const std::string &Name, bool Default = false) const;
+  bool has(const std::string &Name) const;
+
+private:
+  std::map<std::string, std::string> Values;
+};
+
+} // namespace gcache
+
+#endif // GCACHE_SUPPORT_OPTIONS_H

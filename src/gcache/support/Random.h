@@ -1,0 +1,80 @@
+//===- Random.h - Deterministic pseudo-random numbers ----------*- C++ -*-===//
+//
+// Part of the gcache project: reproduction of Reinhold, "Cache Performance
+// of Garbage-Collected Programs" (PLDI 1994).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, fast, deterministic PRNG (splitmix64 seeded xorshift128+).
+/// Every experiment in this repository must be bit-for-bit reproducible, so
+/// all stochastic choices (static-block scatter, workload inputs) are drawn
+/// from this generator with fixed seeds rather than from std::random_device.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCACHE_SUPPORT_RANDOM_H
+#define GCACHE_SUPPORT_RANDOM_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace gcache {
+
+/// Deterministic 64-bit PRNG with a tiny state, suitable for workload
+/// generation. Not cryptographic.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed = 0x9e3779b97f4a7c15ull) { reseed(Seed); }
+
+  /// Re-initializes the state from \p Seed via splitmix64 so that nearby
+  /// seeds give unrelated streams.
+  void reseed(uint64_t Seed) {
+    S0 = splitmix64(Seed);
+    S1 = splitmix64(S0 ^ 0xda3e39cb94b95bdbull);
+    if (S0 == 0 && S1 == 0)
+      S1 = 1;
+  }
+
+  /// Returns the next 64 random bits (xorshift128+).
+  uint64_t next() {
+    uint64_t X = S0;
+    const uint64_t Y = S1;
+    S0 = Y;
+    X ^= X << 23;
+    S1 = X ^ Y ^ (X >> 17) ^ (Y >> 26);
+    return S1 + Y;
+  }
+
+  /// Returns a uniform integer in [0, Bound). \p Bound must be nonzero.
+  uint64_t below(uint64_t Bound) {
+    assert(Bound != 0 && "empty range");
+    // Multiply-shift range reduction; bias is negligible for our uses.
+    return static_cast<uint64_t>(
+        (static_cast<__uint128_t>(next()) * Bound) >> 64);
+  }
+
+  /// Returns a uniform integer in [Lo, Hi] inclusive.
+  int64_t range(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "inverted range");
+    return Lo + static_cast<int64_t>(below(static_cast<uint64_t>(Hi - Lo) + 1));
+  }
+
+  /// Returns a uniform double in [0, 1).
+  double unit() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+  /// One splitmix64 step; also useful as a standalone integer hash.
+  static uint64_t splitmix64(uint64_t X) {
+    X += 0x9e3779b97f4a7c15ull;
+    X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ull;
+    X = (X ^ (X >> 27)) * 0x94d049bb133111ebull;
+    return X ^ (X >> 31);
+  }
+
+private:
+  uint64_t S0 = 1, S1 = 2;
+};
+
+} // namespace gcache
+
+#endif // GCACHE_SUPPORT_RANDOM_H

@@ -1,0 +1,109 @@
+//===- Table.cpp - Paper-style ASCII table and CSV output -----------------===//
+
+#include "gcache/support/Table.h"
+
+#include <cassert>
+#include <cinttypes>
+#include <cstdio>
+
+using namespace gcache;
+
+Table::Table(std::vector<std::string> Header) : Header(std::move(Header)) {
+  assert(!this->Header.empty() && "table needs at least one column");
+}
+
+void Table::addRow(std::vector<std::string> Row) {
+  assert(Row.size() == Header.size() && "row width must match header");
+  Rows.push_back(std::move(Row));
+}
+
+std::string Table::toString() const {
+  std::vector<size_t> Width(Header.size(), 0);
+  for (size_t C = 0; C != Header.size(); ++C)
+    Width[C] = Header[C].size();
+  for (const auto &Row : Rows)
+    for (size_t C = 0; C != Row.size(); ++C)
+      if (Row[C].size() > Width[C])
+        Width[C] = Row[C].size();
+
+  std::string Out;
+  auto EmitRow = [&](const std::vector<std::string> &Row) {
+    for (size_t C = 0; C != Row.size(); ++C) {
+      size_t Pad = Width[C] - Row[C].size();
+      if (C == 0) { // Left-align the label column.
+        Out += Row[C];
+        Out.append(Pad, ' ');
+      } else {
+        Out.append(Pad, ' ');
+        Out += Row[C];
+      }
+      Out += (C + 1 == Row.size()) ? "\n" : "  ";
+    }
+  };
+
+  EmitRow(Header);
+  size_t Rule = 0;
+  for (size_t C = 0; C != Width.size(); ++C)
+    Rule += Width[C] + (C + 1 == Width.size() ? 0 : 2);
+  Out.append(Rule, '-');
+  Out += '\n';
+  for (const auto &Row : Rows)
+    EmitRow(Row);
+  return Out;
+}
+
+std::string Table::toCsv() const {
+  std::string Out;
+  auto EmitRow = [&](const std::vector<std::string> &Row) {
+    for (size_t C = 0; C != Row.size(); ++C) {
+      Out += Row[C];
+      Out += (C + 1 == Row.size()) ? "\n" : ",";
+    }
+  };
+  EmitRow(Header);
+  for (const auto &Row : Rows)
+    EmitRow(Row);
+  return Out;
+}
+
+std::string gcache::fmtDouble(double Value, int Digits) {
+  char Buf[64];
+  snprintf(Buf, sizeof(Buf), "%.*f", Digits, Value);
+  return Buf;
+}
+
+std::string gcache::fmtPercent(double Value, int Digits) {
+  char Buf[64];
+  snprintf(Buf, sizeof(Buf), "%.*f%%", Digits, Value * 100.0);
+  return Buf;
+}
+
+std::string gcache::fmtSize(uint64_t Bytes) {
+  char Buf[64];
+  if (Bytes >= (1ull << 30) && Bytes % (1ull << 30) == 0)
+    snprintf(Buf, sizeof(Buf), "%" PRIu64 "gb", Bytes >> 30);
+  else if (Bytes >= (1ull << 20) && Bytes % (1ull << 20) == 0)
+    snprintf(Buf, sizeof(Buf), "%" PRIu64 "mb", Bytes >> 20);
+  else if (Bytes >= (1ull << 10) && Bytes % (1ull << 10) == 0)
+    snprintf(Buf, sizeof(Buf), "%" PRIu64 "kb", Bytes >> 10);
+  else
+    snprintf(Buf, sizeof(Buf), "%" PRIu64 "b", Bytes);
+  return Buf;
+}
+
+std::string gcache::fmtCount(uint64_t Count) {
+  if (Count < 10000) {
+    char Buf[32];
+    snprintf(Buf, sizeof(Buf), "%" PRIu64, Count);
+    return Buf;
+  }
+  int Exp = 0;
+  double V = static_cast<double>(Count);
+  while (V >= 10.0) {
+    V /= 10.0;
+    ++Exp;
+  }
+  char Buf[64];
+  snprintf(Buf, sizeof(Buf), "%.2fe%d", V, Exp);
+  return Buf;
+}

@@ -1,0 +1,63 @@
+//===- Event.h - Data-reference trace events --------------------*- C++ -*-===//
+//
+// Part of the gcache project (Reinhold, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The reference-trace event model. The paper's measurements were made by
+/// running each program under an instruction-level emulator; here, the VM
+/// and heap emit one Ref event per simulated data load/store, tagged with
+/// the execution phase (mutator vs. collector) so that the §6 accounting
+/// can separate M_gc from M_prog. Allocation events carry the advancing
+/// allocation frontier that defines the paper's allocation cycles.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCACHE_TRACE_EVENT_H
+#define GCACHE_TRACE_EVENT_H
+
+#include <cstdint>
+
+namespace gcache {
+
+/// Simulated byte address. The simulated machine is 32-bit (MIPS R3000 in
+/// the paper), so 32 bits of virtual address space suffice.
+using Address = uint32_t;
+
+/// Whether a data reference reads or writes memory.
+enum class AccessKind : uint8_t { Load, Store };
+
+/// Who is executing: the program or the garbage collector. The paper's
+/// overhead metrics charge these to different accounts (§6).
+enum class Phase : uint8_t { Mutator, Collector };
+
+/// One simulated data reference. Word-sized (4-byte) accesses only, as on
+/// the paper's MIPS R3000 data path.
+struct Ref {
+  Address Addr;
+  AccessKind Kind;
+  Phase ExecPhase;
+};
+
+/// Receives the reference stream of one program run. The hot entry point
+/// is onRef; the remaining hooks have empty defaults.
+class TraceSink {
+public:
+  virtual ~TraceSink();
+
+  /// Called once per simulated data reference, in program order.
+  virtual void onRef(const Ref &R) = 0;
+
+  /// Called when \p Bytes of fresh storage are allocated at \p Addr in the
+  /// dynamic area (before its initializing stores are emitted).
+  virtual void onAlloc(Address Addr, uint32_t Bytes) {}
+
+  /// Called when a garbage collection begins / ends.
+  virtual void onGcBegin() {}
+  virtual void onGcEnd() {}
+};
+
+} // namespace gcache
+
+#endif // GCACHE_TRACE_EVENT_H

@@ -1,0 +1,8 @@
+//===- Sinks.cpp - Reusable trace sinks -----------------------------------===//
+
+#include "gcache/trace/Sinks.h"
+
+using namespace gcache;
+
+// Out-of-line virtual anchor (see LLVM coding standards).
+TraceSink::~TraceSink() = default;

@@ -1,0 +1,156 @@
+//===- TraceFile.cpp - Binary reference-trace files ------------------------===//
+
+#include "gcache/trace/TraceFile.h"
+
+#include <cassert>
+#include <cstring>
+
+using namespace gcache;
+
+namespace {
+constexpr char Magic[4] = {'G', 'C', 'T', 'R'};
+constexpr uint32_t Version = 1;
+
+enum Opcode : uint8_t {
+  OpLoadMut = 0,
+  OpStoreMut = 1,
+  OpLoadGc = 2,
+  OpStoreGc = 3,
+  OpAlloc = 4,
+  OpGcBegin = 5,
+  OpGcEnd = 6,
+};
+
+void put32(uint8_t *P, uint32_t V) {
+  P[0] = V & 0xff;
+  P[1] = (V >> 8) & 0xff;
+  P[2] = (V >> 16) & 0xff;
+  P[3] = (V >> 24) & 0xff;
+}
+
+uint32_t get32(const uint8_t *P) {
+  return static_cast<uint32_t>(P[0]) | (static_cast<uint32_t>(P[1]) << 8) |
+         (static_cast<uint32_t>(P[2]) << 16) |
+         (static_cast<uint32_t>(P[3]) << 24);
+}
+} // namespace
+
+bool TraceWriter::open(const std::string &Path) {
+  assert(!File && "writer already open");
+  File = std::fopen(Path.c_str(), "wb");
+  if (!File)
+    return false;
+  Records = 0;
+  // Placeholder header; record count is patched in close().
+  uint8_t Header[16] = {};
+  std::memcpy(Header, Magic, 4);
+  put32(Header + 4, Version);
+  if (std::fwrite(Header, 1, sizeof(Header), File) != sizeof(Header)) {
+    std::fclose(File);
+    File = nullptr;
+    return false;
+  }
+  return true;
+}
+
+void TraceWriter::emit(uint8_t Op, uint32_t A, uint32_t B, bool HasB) {
+  if (!File)
+    return;
+  uint8_t Buf[9];
+  Buf[0] = Op;
+  put32(Buf + 1, A);
+  size_t Len = 5;
+  if (HasB) {
+    put32(Buf + 5, B);
+    Len = 9;
+  }
+  std::fwrite(Buf, 1, Len, File);
+  ++Records;
+}
+
+void TraceWriter::onRef(const Ref &R) {
+  uint8_t Op = R.ExecPhase == Phase::Mutator
+                   ? (R.Kind == AccessKind::Load ? OpLoadMut : OpStoreMut)
+                   : (R.Kind == AccessKind::Load ? OpLoadGc : OpStoreGc);
+  emit(Op, R.Addr, 0, /*HasB=*/false);
+}
+
+void TraceWriter::onAlloc(Address Addr, uint32_t Bytes) {
+  emit(OpAlloc, Addr, Bytes, /*HasB=*/true);
+}
+
+void TraceWriter::onGcBegin() { emit(OpGcBegin, 0, 0, /*HasB=*/false); }
+void TraceWriter::onGcEnd() { emit(OpGcEnd, 0, 0, /*HasB=*/false); }
+
+bool TraceWriter::close() {
+  if (!File)
+    return false;
+  uint8_t Count[8];
+  put32(Count, static_cast<uint32_t>(Records));
+  put32(Count + 4, static_cast<uint32_t>(Records >> 32));
+  bool Ok = std::fseek(File, 8, SEEK_SET) == 0 &&
+            std::fwrite(Count, 1, 8, File) == 8;
+  Ok = std::fclose(File) == 0 && Ok;
+  File = nullptr;
+  return Ok;
+}
+
+TraceWriter::~TraceWriter() {
+  if (File)
+    close();
+}
+
+int64_t TraceReader::replay(const std::string &Path, TraceSink &Sink) {
+  FILE *File = std::fopen(Path.c_str(), "rb");
+  if (!File)
+    return -1;
+  uint8_t Header[16];
+  if (std::fread(Header, 1, sizeof(Header), File) != sizeof(Header) ||
+      std::memcmp(Header, Magic, 4) != 0 || get32(Header + 4) != Version) {
+    std::fclose(File);
+    return -1;
+  }
+  uint64_t Expected = static_cast<uint64_t>(get32(Header + 8)) |
+                      (static_cast<uint64_t>(get32(Header + 12)) << 32);
+  uint64_t Seen = 0;
+  uint8_t Buf[9];
+  while (std::fread(Buf, 1, 5, File) == 5) {
+    uint32_t A = get32(Buf + 1);
+    switch (Buf[0]) {
+    case OpLoadMut:
+      Sink.onRef({A, AccessKind::Load, Phase::Mutator});
+      break;
+    case OpStoreMut:
+      Sink.onRef({A, AccessKind::Store, Phase::Mutator});
+      break;
+    case OpLoadGc:
+      Sink.onRef({A, AccessKind::Load, Phase::Collector});
+      break;
+    case OpStoreGc:
+      Sink.onRef({A, AccessKind::Store, Phase::Collector});
+      break;
+    case OpAlloc: {
+      if (std::fread(Buf + 5, 1, 4, File) != 4) {
+        std::fclose(File);
+        return -1;
+      }
+      Sink.onAlloc(A, get32(Buf + 5));
+      break;
+    }
+    case OpGcBegin:
+      Sink.onGcBegin();
+      break;
+    case OpGcEnd:
+      Sink.onGcEnd();
+      break;
+    default:
+      std::fclose(File);
+      return -1;
+    }
+    ++Seen;
+  }
+  std::fclose(File);
+  if (Seen != Expected)
+    return -1;
+  return static_cast<int64_t>(Seen);
+}

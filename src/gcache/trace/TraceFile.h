@@ -1,0 +1,66 @@
+//===- TraceFile.h - Binary reference-trace files ---------------*- C++ -*-===//
+//
+// Part of the gcache project (Reinhold, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A compact binary on-disk format for reference traces. The experiments
+/// normally run execution-driven (the program feeds the simulators live),
+/// but a file format allows decoupled replay, cross-checking, and testing:
+/// write a run once, then re-simulate it under many cache models.
+///
+/// Format: 16-byte header (magic "GCTR", version, record count), then one
+/// 6-byte record per event: a 1-byte opcode (kind+phase or control event)
+/// followed by a 4-byte little-endian address and, for allocations, a
+/// 4-byte size instead of the address-only payload.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCACHE_TRACE_TRACEFILE_H
+#define GCACHE_TRACE_TRACEFILE_H
+
+#include "gcache/trace/Event.h"
+
+#include <cstdio>
+#include <string>
+
+namespace gcache {
+
+/// Streams trace events to a binary file.
+class TraceWriter final : public TraceSink {
+public:
+  /// Opens \p Path for writing; returns false (and stays closed) on error.
+  bool open(const std::string &Path);
+
+  /// Finalizes the header and closes the file. Returns false on I/O error.
+  bool close();
+
+  bool isOpen() const { return File != nullptr; }
+  uint64_t recordCount() const { return Records; }
+
+  void onRef(const Ref &R) override;
+  void onAlloc(Address Addr, uint32_t Bytes) override;
+  void onGcBegin() override;
+  void onGcEnd() override;
+
+  ~TraceWriter() override;
+
+private:
+  void emit(uint8_t Op, uint32_t A, uint32_t B, bool HasB);
+
+  FILE *File = nullptr;
+  uint64_t Records = 0;
+};
+
+/// Replays a binary trace file into a sink.
+class TraceReader {
+public:
+  /// Reads \p Path and replays every event into \p Sink. Returns the number
+  /// of records replayed, or -1 on open/format error.
+  static int64_t replay(const std::string &Path, TraceSink &Sink);
+};
+
+} // namespace gcache
+
+#endif // GCACHE_TRACE_TRACEFILE_H

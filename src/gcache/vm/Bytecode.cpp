@@ -1,0 +1,73 @@
+//===- Bytecode.cpp - VM instruction set and code objects ------------------===//
+
+#include "gcache/vm/Bytecode.h"
+
+#include <cstdio>
+
+using namespace gcache;
+
+const char *gcache::opName(Op O) {
+  switch (O) {
+  case Op::Const:
+    return "const";
+  case Op::GlobalRef:
+    return "global-ref";
+  case Op::GlobalSet:
+    return "global-set";
+  case Op::GlobalDef:
+    return "global-def";
+  case Op::LocalRef:
+    return "local-ref";
+  case Op::LocalSet:
+    return "local-set";
+  case Op::FreeRef:
+    return "free-ref";
+  case Op::MakeClosure:
+    return "make-closure";
+  case Op::MakeCell:
+    return "make-cell";
+  case Op::CellRef:
+    return "cell-ref";
+  case Op::CellSet:
+    return "cell-set";
+  case Op::Jump:
+    return "jump";
+  case Op::JumpIfFalse:
+    return "jump-if-false";
+  case Op::Call:
+    return "call";
+  case Op::TailCall:
+    return "tail-call";
+  case Op::Return:
+    return "return";
+  case Op::Prim:
+    return "prim";
+  case Op::PrimSpread:
+    return "prim-spread";
+  case Op::Pop:
+    return "pop";
+  case Op::PushUnspec:
+    return "push-unspec";
+  case Op::CallCC:
+    return "call/cc";
+  case Op::RestoreCont:
+    return "restore-cont";
+  case Op::Halt:
+    return "halt";
+  }
+  return "?";
+}
+
+std::string gcache::disassemble(const CodeObject &C) {
+  std::string Out = C.Name + " (required " + std::to_string(C.NumRequired) +
+                    (C.Variadic ? " +rest" : "") + ", locals " +
+                    std::to_string(C.NumLocals) + ")\n";
+  char Buf[96];
+  for (size_t I = 0; I != C.Code.size(); ++I) {
+    const Instr &In = C.Code[I];
+    snprintf(Buf, sizeof(Buf), "  %4zu  %-14s %u %u\n", I, opName(In.Code),
+             In.A, In.B);
+    Out += Buf;
+  }
+  return Out;
+}

@@ -1,0 +1,91 @@
+//===- Bytecode.h - VM instruction set and code objects ---------*- C++ -*-===//
+//
+// Part of the gcache project (Reinhold, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The stack VM's instruction set. The compiler produces one CodeObject
+/// per lambda (plus one per top-level form); code objects live on the host
+/// side — the paper simulates only the *data* cache, so instruction
+/// fetches are not part of the reference trace — while closures, frames,
+/// and all data live in the simulated memory.
+///
+/// Frame layout on the simulated stack (FP = frame pointer, slots are
+/// words): slot FP+0 holds the callee closure, FP+1.. the arguments (plus
+/// the collected rest list for variadic procedures), then the frame's
+/// let-bound locals. Every push/pop is a traced store/load, which is what
+/// makes the paper's "extremely busy stack blocks" emerge naturally.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCACHE_VM_BYTECODE_H
+#define GCACHE_VM_BYTECODE_H
+
+#include "gcache/heap/Value.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gcache {
+
+/// VM opcodes. A/B are the immediate operands.
+enum class Op : uint8_t {
+  Const,       ///< A: constant-pool index. Push the constant.
+  GlobalRef,   ///< A: pool index of a symbol pointer. Push its global value.
+  GlobalSet,   ///< A: pool index of a symbol. Pop value, store, push unspec.
+  GlobalDef,   ///< Same as GlobalSet (define'd vs assigned, for clarity).
+  LocalRef,    ///< A: frame slot. Push stack[FP+A].
+  LocalSet,    ///< A: frame slot. Pop into stack[FP+A] (no push).
+  FreeRef,     ///< A: free-variable index. Push closure free slot A.
+  MakeClosure, ///< A: code id, B: #free. Pop B captured values, push closure.
+  MakeCell,    ///< Pop V, push a fresh cell containing V.
+  CellRef,     ///< Pop cell, push its contents.
+  CellSet,     ///< Pop value, pop cell, store (barriered), push unspec.
+  Jump,        ///< A: target pc.
+  JumpIfFalse, ///< A: target pc. Pop; jump when #f.
+  Call,        ///< A: argc. Stack: [closure a0..a(n-1)].
+  TailCall,    ///< A: argc. Reuses the current frame.
+  Return,      ///< Pop result, tear down the frame, push result.
+  Prim,        ///< A: primitive id, B: argc. Args are the top B slots.
+  PrimSpread,  ///< A: primitive id. Pop a list, spread it, run the prim.
+  Pop,         ///< Drop the top of stack.
+  PushUnspec,  ///< Push the unspecified value.
+  CallCC,      ///< Stack: [.. f]. Capture the continuation, call f with it.
+  RestoreCont, ///< Body of a continuation closure: restore and resume.
+  Halt,        ///< Stop the machine (top-level sentinel; normally unused).
+};
+
+/// One instruction.
+struct Instr {
+  Op Code;
+  uint32_t A = 0;
+  uint32_t B = 0;
+};
+
+/// A compiled procedure body.
+struct CodeObject {
+  std::string Name;          ///< For diagnostics ("lambda@orbit" etc.).
+  uint32_t NumRequired = 0;  ///< Required parameters.
+  bool Variadic = false;     ///< Collects extra args into a rest list.
+  uint32_t NumLocals = 0;    ///< Let-bound slots beyond the parameters.
+  int32_t PrimId = -1;       ///< >= 0 for primitive stub closures.
+  std::vector<Instr> Code;
+  std::vector<Value> Consts; ///< Immediates and static-area pointers.
+
+  /// Number of argument slots in a frame (required + rest slot).
+  uint32_t argSlots() const { return NumRequired + (Variadic ? 1 : 0); }
+  /// First let-local slot index (slot 0 is the closure).
+  uint32_t firstLocalSlot() const { return 1 + argSlots(); }
+};
+
+/// Renders one code object as readable assembly (tests, debugging).
+std::string disassemble(const CodeObject &C);
+
+/// Opcode mnemonic.
+const char *opName(Op O);
+
+} // namespace gcache
+
+#endif // GCACHE_VM_BYTECODE_H

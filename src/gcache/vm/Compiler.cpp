@@ -1,0 +1,781 @@
+//===- Compiler.cpp - Scheme to bytecode compiler ---------------------------===//
+
+#include "gcache/vm/Compiler.h"
+
+using namespace gcache;
+
+//===----------------------------------------------------------------------===//
+// Small helpers
+//===----------------------------------------------------------------------===//
+
+uint32_t Compiler::allocSlot(FnCtx &Ctx) {
+  uint32_t Slot = Ctx.NextSlot++;
+  if (Ctx.NextSlot > Ctx.MaxSlot)
+    Ctx.MaxSlot = Ctx.NextSlot;
+  return Slot;
+}
+
+uint32_t Compiler::addConst(FnCtx &Ctx, Value V) {
+  for (size_t I = 0; I != Ctx.Code.Consts.size(); ++I)
+    if (Ctx.Code.Consts[I].Bits == V.Bits)
+      return static_cast<uint32_t>(I);
+  Ctx.Code.Consts.push_back(V);
+  return static_cast<uint32_t>(Ctx.Code.Consts.size() - 1);
+}
+
+void Compiler::emit(FnCtx &Ctx, Op O, uint32_t A, uint32_t B) {
+  Ctx.Code.Code.push_back({O, A, B});
+}
+
+size_t Compiler::emitPlaceholder(FnCtx &Ctx, Op O) {
+  emit(Ctx, O, 0);
+  return Ctx.Code.Code.size() - 1;
+}
+
+void Compiler::patchTarget(FnCtx &Ctx, size_t At) {
+  Ctx.Code.Code[At].A = static_cast<uint32_t>(Ctx.Code.Code.size());
+}
+
+void Compiler::collectAssigned(const Sexpr &S, std::set<std::string> &Out) {
+  if (!S.isList())
+    return;
+  if (!S.Elems.empty() && S.Elems[0].isSymbol("quote"))
+    return;
+  if (S.size() == 3 && S.Elems[0].isSymbol("set!") &&
+      S.Elems[1].K == Sexpr::Kind::Symbol)
+    Out.insert(S.Elems[1].Text);
+  for (const Sexpr &E : S.Elems)
+    collectAssigned(E, Out);
+  if (S.DottedTail)
+    collectAssigned(*S.DottedTail, Out);
+}
+
+std::vector<Sexpr>
+Compiler::expandInternalDefines(const std::vector<Sexpr> &Body, size_t From) {
+  std::vector<Sexpr> Defines;
+  size_t I = From;
+  while (I < Body.size() && Body[I].isList() && Body[I].size() >= 2 &&
+         Body[I].Elems[0].isSymbol("define"))
+    Defines.push_back(Body[I++]);
+  std::vector<Sexpr> Rest(Body.begin() + I, Body.end());
+  if (Defines.empty())
+    return Rest;
+
+  // (define (f . a) b...) -> (f (lambda a b...)); (define x e) -> (x e).
+  std::vector<Sexpr> Bindings;
+  for (Sexpr &D : Defines) {
+    if (D[1].K == Sexpr::Kind::Symbol) {
+      if (D.size() != 3)
+        vmFatal("malformed internal define: %s", D.toString().c_str());
+      Bindings.push_back(Sexpr::list({D[1], D[2]}));
+      continue;
+    }
+    if (!D[1].isList() || D[1].size() < 1 ||
+        D[1].Elems[0].K != Sexpr::Kind::Symbol)
+      vmFatal("malformed internal define: %s", D.toString().c_str());
+    Sexpr Params = D[1];
+    Sexpr Name = Params.Elems[0];
+    Params.Elems.erase(Params.Elems.begin());
+    std::vector<Sexpr> Lambda = {Sexpr::symbol("lambda"), Params};
+    for (size_t J = 2; J < D.size(); ++J)
+      Lambda.push_back(D[J]);
+    Bindings.push_back(Sexpr::list({Name, Sexpr::list(std::move(Lambda))}));
+  }
+  if (Rest.empty())
+    vmFatal("body consists only of internal defines");
+
+  std::vector<Sexpr> Letrec = {Sexpr::symbol("letrec"),
+                               Sexpr::list(std::move(Bindings))};
+  for (Sexpr &R : Rest)
+    Letrec.push_back(std::move(R));
+  return {Sexpr::list(std::move(Letrec))};
+}
+
+//===----------------------------------------------------------------------===//
+// Variable resolution
+//===----------------------------------------------------------------------===//
+
+Compiler::Loc Compiler::resolve(FnCtx &Ctx, const std::string &Name) {
+  for (size_t I = Ctx.Env.size(); I-- > 0;)
+    if (Ctx.Env[I].Name == Name)
+      return {Loc::Kind::Local, Ctx.Env[I].Slot, Ctx.Env[I].Boxed};
+
+  if (!Ctx.Parent)
+    return {Loc::Kind::Global, 0, false};
+
+  Loc P = resolve(*Ctx.Parent, Name);
+  if (P.K == Loc::Kind::Global)
+    return P;
+  // Capture through this frame.
+  for (size_t I = 0; I != Ctx.FreeVars.size(); ++I)
+    if (Ctx.FreeVars[I].Name == Name)
+      return {Loc::Kind::Free, static_cast<uint32_t>(I), Ctx.FreeVars[I].Boxed};
+  Ctx.FreeVars.push_back({Name, P.Boxed});
+  return {Loc::Kind::Free, static_cast<uint32_t>(Ctx.FreeVars.size() - 1),
+          P.Boxed};
+}
+
+void Compiler::compileVarRef(FnCtx &Ctx, const std::string &Name) {
+  Loc L = resolve(Ctx, Name);
+  switch (L.K) {
+  case Loc::Kind::Local:
+    emit(Ctx, Op::LocalRef, L.Index);
+    break;
+  case Loc::Kind::Free:
+    emit(Ctx, Op::FreeRef, L.Index);
+    break;
+  case Loc::Kind::Global:
+    emit(Ctx, Op::GlobalRef, addConst(Ctx, M.symbolFor(Name)));
+    return;
+  }
+  if (L.Boxed)
+    emit(Ctx, Op::CellRef);
+}
+
+void Compiler::compileSet(FnCtx &Ctx, const Sexpr &S) {
+  if (S.size() != 3 || S[1].K != Sexpr::Kind::Symbol)
+    vmFatal("malformed set!: %s", S.toString().c_str());
+  const std::string &Name = S[1].Text;
+  Loc L = resolve(Ctx, Name);
+  switch (L.K) {
+  case Loc::Kind::Global:
+    compileExpr(Ctx, S[2], /*Tail=*/false);
+    emit(Ctx, Op::GlobalSet, addConst(Ctx, M.symbolFor(Name)));
+    return;
+  case Loc::Kind::Local:
+    assert(L.Boxed && "assigned local must be boxed");
+    emit(Ctx, Op::LocalRef, L.Index);
+    break;
+  case Loc::Kind::Free:
+    assert(L.Boxed && "assigned free variable must be boxed");
+    emit(Ctx, Op::FreeRef, L.Index);
+    break;
+  }
+  compileExpr(Ctx, S[2], /*Tail=*/false);
+  emit(Ctx, Op::CellSet);
+}
+
+//===----------------------------------------------------------------------===//
+// Lambda
+//===----------------------------------------------------------------------===//
+
+void Compiler::compileLambda(FnCtx &Parent, const Sexpr &S,
+                             const std::string &Name) {
+  if (S.size() < 3)
+    vmFatal("malformed lambda: %s", S.toString().c_str());
+
+  FnCtx Ctx;
+  Ctx.Parent = &Parent;
+  Ctx.Code.Name = Name.empty() ? "lambda" : Name;
+  for (size_t I = 2; I < S.size(); ++I)
+    collectAssigned(S[I], Ctx.Assigned);
+
+  // Parameter list: (a b), (a b . r), or a bare rest symbol.
+  std::vector<std::string> Params;
+  std::string RestName;
+  const Sexpr &Formals = S[1];
+  if (Formals.K == Sexpr::Kind::Symbol) {
+    RestName = Formals.Text;
+  } else if (Formals.isList()) {
+    for (const Sexpr &P : Formals.Elems) {
+      if (P.K != Sexpr::Kind::Symbol)
+        vmFatal("bad parameter in %s", S.toString().c_str());
+      Params.push_back(P.Text);
+    }
+    if (Formals.DottedTail) {
+      if (Formals.DottedTail->K != Sexpr::Kind::Symbol)
+        vmFatal("bad rest parameter in %s", S.toString().c_str());
+      RestName = Formals.DottedTail->Text;
+    }
+  } else {
+    vmFatal("bad formals in %s", S.toString().c_str());
+  }
+
+  Ctx.Code.NumRequired = static_cast<uint32_t>(Params.size());
+  Ctx.Code.Variadic = !RestName.empty();
+  if (!RestName.empty())
+    Params.push_back(RestName);
+
+  Ctx.NextSlot = Ctx.MaxSlot = Ctx.Code.firstLocalSlot();
+  for (size_t I = 0; I != Params.size(); ++I) {
+    bool Boxed = Ctx.Assigned.count(Params[I]) != 0;
+    uint32_t Slot = static_cast<uint32_t>(1 + I);
+    Ctx.Env.push_back({Params[I], Slot, Boxed});
+    if (Boxed) { // Prologue: wrap the argument in a cell.
+      emit(Ctx, Op::LocalRef, Slot);
+      emit(Ctx, Op::MakeCell);
+      emit(Ctx, Op::LocalSet, Slot);
+    }
+  }
+
+  std::vector<Sexpr> Body = expandInternalDefines(S.Elems, 2);
+  compileBody(Ctx, Body, 0, /*Tail=*/true);
+  emit(Ctx, Op::Return);
+  Ctx.Code.NumLocals = Ctx.MaxSlot - Ctx.Code.firstLocalSlot();
+
+  // Capture the free variables in the parent (cells are captured as
+  // cells, so assignments remain visible through the closure).
+  std::vector<FreeVar> Captures = Ctx.FreeVars; // resolve() may not grow now.
+  uint32_t CodeId = M.addCode(std::move(Ctx.Code));
+  for (const FreeVar &FV : Captures) {
+    Loc L = resolve(Parent, FV.Name);
+    switch (L.K) {
+    case Loc::Kind::Local:
+      emit(Parent, Op::LocalRef, L.Index);
+      break;
+    case Loc::Kind::Free:
+      emit(Parent, Op::FreeRef, L.Index);
+      break;
+    case Loc::Kind::Global:
+      vmFatal("free variable %s resolved to a global", FV.Name.c_str());
+    }
+  }
+  emit(Parent, Op::MakeClosure, CodeId,
+       static_cast<uint32_t>(Captures.size()));
+}
+
+//===----------------------------------------------------------------------===//
+// Binding forms
+//===----------------------------------------------------------------------===//
+
+void Compiler::compileBody(FnCtx &Ctx, const std::vector<Sexpr> &Forms,
+                           size_t From, bool Tail) {
+  if (From >= Forms.size()) {
+    emit(Ctx, Op::PushUnspec);
+    return;
+  }
+  for (size_t I = From; I + 1 < Forms.size(); ++I) {
+    compileExpr(Ctx, Forms[I], /*Tail=*/false);
+    emit(Ctx, Op::Pop);
+  }
+  compileExpr(Ctx, Forms.back(), Tail);
+}
+
+void Compiler::compileLet(FnCtx &Ctx, const Sexpr &S, bool Tail) {
+  if (S.size() < 3 || !S[1].isList())
+    vmFatal("malformed let: %s", S.toString().c_str());
+  const Sexpr &Bindings = S[1];
+
+  // Evaluate all inits before any binding becomes visible.
+  struct Pending {
+    std::string Name;
+    uint32_t Slot;
+    bool Boxed;
+  };
+  std::vector<Pending> News;
+  uint32_t SavedNext = Ctx.NextSlot;
+  for (const Sexpr &B : Bindings.Elems) {
+    if (!B.isList() || B.size() != 2 || B[0].K != Sexpr::Kind::Symbol)
+      vmFatal("malformed let binding in %s", S.toString().c_str());
+    compileExpr(Ctx, B[1], /*Tail=*/false);
+    News.push_back({B[0].Text, 0, Ctx.Assigned.count(B[0].Text) != 0});
+  }
+  for (Pending &P : News)
+    P.Slot = allocSlot(Ctx);
+  for (size_t I = News.size(); I-- > 0;) {
+    if (News[I].Boxed)
+      emit(Ctx, Op::MakeCell);
+    emit(Ctx, Op::LocalSet, News[I].Slot);
+  }
+
+  size_t SavedEnv = Ctx.Env.size();
+  for (const Pending &P : News)
+    Ctx.Env.push_back({P.Name, P.Slot, P.Boxed});
+  compileBody(Ctx, S.Elems, 2, Tail);
+  Ctx.Env.resize(SavedEnv);
+  Ctx.NextSlot = SavedNext;
+}
+
+void Compiler::compileLetrec(FnCtx &Ctx, const Sexpr &S, bool Tail) {
+  if (S.size() < 3 || !S[1].isList())
+    vmFatal("malformed letrec: %s", S.toString().c_str());
+  const Sexpr &Bindings = S[1];
+
+  uint32_t SavedNext = Ctx.NextSlot;
+  size_t SavedEnv = Ctx.Env.size();
+  std::vector<uint32_t> Slots;
+  // Create a cell per variable (letrec variables are always boxed), then
+  // evaluate the inits left to right with all bindings visible.
+  for (const Sexpr &B : Bindings.Elems) {
+    if (!B.isList() || B.size() != 2 || B[0].K != Sexpr::Kind::Symbol)
+      vmFatal("malformed letrec binding in %s", S.toString().c_str());
+    uint32_t Slot = allocSlot(Ctx);
+    Slots.push_back(Slot);
+    emit(Ctx, Op::PushUnspec);
+    emit(Ctx, Op::MakeCell);
+    emit(Ctx, Op::LocalSet, Slot);
+    Ctx.Env.push_back({B[0].Text, Slot, /*Boxed=*/true});
+  }
+  for (size_t I = 0; I != Bindings.Elems.size(); ++I) {
+    emit(Ctx, Op::LocalRef, Slots[I]);
+    std::string Hint = Bindings.Elems[I][0].Text;
+    const Sexpr &Init = Bindings.Elems[I][1];
+    if (Init.isList() && !Init.Elems.empty() && Init.Elems[0].isSymbol("lambda"))
+      compileLambda(Ctx, Init, Hint);
+    else
+      compileExpr(Ctx, Init, /*Tail=*/false);
+    emit(Ctx, Op::CellSet);
+    emit(Ctx, Op::Pop);
+  }
+
+  compileBody(Ctx, S.Elems, 2, Tail);
+  Ctx.Env.resize(SavedEnv);
+  Ctx.NextSlot = SavedNext;
+}
+
+void Compiler::compileNamedLet(FnCtx &Ctx, const Sexpr &S, bool Tail) {
+  // (let loop ((v i)...) body...) ->
+  // (letrec ((loop (lambda (v...) body...))) (loop i...))
+  if (S.size() < 4 || !S[2].isList())
+    vmFatal("malformed named let: %s", S.toString().c_str());
+  const std::string &Name = S[1].Text;
+
+  std::vector<Sexpr> Params;
+  std::vector<Sexpr> Inits;
+  for (const Sexpr &B : S[2].Elems) {
+    if (!B.isList() || B.size() != 2 || B[0].K != Sexpr::Kind::Symbol)
+      vmFatal("malformed named-let binding in %s", S.toString().c_str());
+    Params.push_back(B[0]);
+    Inits.push_back(B[1]);
+  }
+
+  std::vector<Sexpr> Lambda = {Sexpr::symbol("lambda"),
+                               Sexpr::list(std::move(Params))};
+  for (size_t I = 3; I < S.size(); ++I)
+    Lambda.push_back(S[I]);
+
+  std::vector<Sexpr> Call = {Sexpr::symbol(Name)};
+  for (Sexpr &I : Inits)
+    Call.push_back(std::move(I));
+
+  Sexpr Letrec = Sexpr::list(
+      {Sexpr::symbol("letrec"),
+       Sexpr::list({Sexpr::list({Sexpr::symbol(Name),
+                                 Sexpr::list(std::move(Lambda))})}),
+       Sexpr::list(std::move(Call))});
+  compileExpr(Ctx, Letrec, Tail);
+}
+
+//===----------------------------------------------------------------------===//
+// Calls
+//===----------------------------------------------------------------------===//
+
+void Compiler::compileCall(FnCtx &Ctx, const Sexpr &S, bool Tail) {
+  uint32_t Argc = static_cast<uint32_t>(S.size() - 1);
+
+  // Integrable primitive in operator position?
+  if (S[0].K == Sexpr::Kind::Symbol) {
+    Loc L = resolve(Ctx, S[0].Text);
+    if (L.K == Loc::Kind::Global) {
+      int Pid = M.primitiveId(S[0].Text);
+      if (Pid >= 0) {
+        const Primitive &P = M.primitive(static_cast<uint32_t>(Pid));
+        if (static_cast<int>(Argc) >= P.MinArgs &&
+            (P.MaxArgs < 0 || static_cast<int>(Argc) <= P.MaxArgs)) {
+          for (size_t I = 1; I < S.size(); ++I)
+            compileExpr(Ctx, S[I], /*Tail=*/false);
+          emit(Ctx, Op::Prim, static_cast<uint32_t>(Pid), Argc);
+          return;
+        }
+        vmFatal("%s: bad argument count %u", S[0].Text.c_str(), Argc);
+      }
+    }
+  }
+
+  compileExpr(Ctx, S[0], /*Tail=*/false);
+  for (size_t I = 1; I < S.size(); ++I)
+    compileExpr(Ctx, S[I], /*Tail=*/false);
+  emit(Ctx, Tail ? Op::TailCall : Op::Call, Argc);
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+void Compiler::compileExpr(FnCtx &Ctx, const Sexpr &S, bool Tail) {
+  switch (S.K) {
+  case Sexpr::Kind::Integer:
+  case Sexpr::Kind::Real:
+  case Sexpr::Kind::String:
+  case Sexpr::Kind::Char:
+  case Sexpr::Kind::Bool:
+    emit(Ctx, Op::Const, addConst(Ctx, M.datumToValue(S)));
+    return;
+  case Sexpr::Kind::Symbol:
+    compileVarRef(Ctx, S.Text);
+    return;
+  case Sexpr::Kind::List:
+    break;
+  }
+
+  if (S.Elems.empty())
+    vmFatal("cannot compile the empty combination ()");
+  const Sexpr &Head = S[0];
+
+  if (Head.K == Sexpr::Kind::Symbol) {
+    const std::string &Sym = Head.Text;
+
+    if (Sym == "quote") {
+      if (S.size() != 2)
+        vmFatal("malformed quote");
+      emit(Ctx, Op::Const, addConst(Ctx, M.datumToValue(S[1])));
+      return;
+    }
+    if (Sym == "if") {
+      if (S.size() != 3 && S.size() != 4)
+        vmFatal("malformed if: %s", S.toString().c_str());
+      compileExpr(Ctx, S[1], /*Tail=*/false);
+      size_t ElseJump = emitPlaceholder(Ctx, Op::JumpIfFalse);
+      compileExpr(Ctx, S[2], Tail);
+      size_t EndJump = emitPlaceholder(Ctx, Op::Jump);
+      patchTarget(Ctx, ElseJump);
+      if (S.size() == 4)
+        compileExpr(Ctx, S[3], Tail);
+      else
+        emit(Ctx, Op::PushUnspec);
+      patchTarget(Ctx, EndJump);
+      return;
+    }
+    if (Sym == "begin") {
+      compileBody(Ctx, S.Elems, 1, Tail);
+      return;
+    }
+    if (Sym == "lambda") {
+      compileLambda(Ctx, S, "");
+      return;
+    }
+    if (Sym == "set!") {
+      compileSet(Ctx, S);
+      return;
+    }
+    if (Sym == "define") {
+      // Top-level define only (internal defines were rewritten).
+      if (Ctx.Parent)
+        vmFatal("define in expression position: %s", S.toString().c_str());
+      if (S.size() >= 2 && S[1].isList()) {
+        // (define (f . a) body...)
+        Sexpr Params = S[1];
+        if (Params.Elems.empty() || Params.Elems[0].K != Sexpr::Kind::Symbol)
+          vmFatal("malformed define: %s", S.toString().c_str());
+        std::string Name = Params.Elems[0].Text;
+        Params.Elems.erase(Params.Elems.begin());
+        std::vector<Sexpr> Lambda = {Sexpr::symbol("lambda"), Params};
+        for (size_t I = 2; I < S.size(); ++I)
+          Lambda.push_back(S[I]);
+        compileLambda(Ctx, Sexpr::list(std::move(Lambda)), Name);
+        emit(Ctx, Op::GlobalDef, addConst(Ctx, M.symbolFor(Name)));
+        return;
+      }
+      if (S.size() != 3 || S[1].K != Sexpr::Kind::Symbol)
+        vmFatal("malformed define: %s", S.toString().c_str());
+      if (S[2].isList() && !S[2].Elems.empty() &&
+          S[2].Elems[0].isSymbol("lambda"))
+        compileLambda(Ctx, S[2], S[1].Text);
+      else
+        compileExpr(Ctx, S[2], /*Tail=*/false);
+      emit(Ctx, Op::GlobalDef, addConst(Ctx, M.symbolFor(S[1].Text)));
+      return;
+    }
+    if (Sym == "let") {
+      if (S.size() >= 2 && S[1].K == Sexpr::Kind::Symbol)
+        compileNamedLet(Ctx, S, Tail);
+      else
+        compileLet(Ctx, S, Tail);
+      return;
+    }
+    if (Sym == "let*") {
+      if (S.size() < 3 || !S[1].isList())
+        vmFatal("malformed let*: %s", S.toString().c_str());
+      if (S[1].Elems.size() <= 1) {
+        Sexpr Rewrite = S;
+        Rewrite.Elems[0] = Sexpr::symbol("let");
+        compileExpr(Ctx, Rewrite, Tail);
+        return;
+      }
+      // (let* ((a x) rest...) body) -> (let ((a x)) (let* (rest...) body))
+      Sexpr Inner = S;
+      Inner.Elems[1] = Sexpr::list(std::vector<Sexpr>(
+          S[1].Elems.begin() + 1, S[1].Elems.end()));
+      Sexpr Outer = Sexpr::list({Sexpr::symbol("let"),
+                                 Sexpr::list({S[1].Elems[0]}),
+                                 std::move(Inner)});
+      compileExpr(Ctx, Outer, Tail);
+      return;
+    }
+    if (Sym == "letrec" || Sym == "letrec*") {
+      compileLetrec(Ctx, S, Tail);
+      return;
+    }
+    if (Sym == "cond") {
+      // Rewrite into nested ifs.
+      std::function<Sexpr(size_t)> Build = [&](size_t I) -> Sexpr {
+        if (I >= S.size()) {
+          // No clause matched: yield the unspecified value via (if #f #f).
+          Sexpr F;
+          F.K = Sexpr::Kind::Bool;
+          F.Int = 0;
+          return Sexpr::list({Sexpr::symbol("if"), F, F});
+        }
+        const Sexpr &Clause = S[I];
+        if (!Clause.isList() || Clause.Elems.empty())
+          vmFatal("malformed cond clause: %s", S.toString().c_str());
+        if (Clause[0].isSymbol("else")) {
+          std::vector<Sexpr> Begin = {Sexpr::symbol("begin")};
+          for (size_t J = 1; J < Clause.size(); ++J)
+            Begin.push_back(Clause[J]);
+          return Sexpr::list(std::move(Begin));
+        }
+        std::vector<Sexpr> If = {Sexpr::symbol("if"), Clause[0]};
+        if (Clause.size() == 1) {
+          // (cond (test)) yields the test value: (or test <rest>).
+          return Sexpr::list(
+              {Sexpr::symbol("or"), Clause[0], Build(I + 1)});
+        }
+        std::vector<Sexpr> Begin = {Sexpr::symbol("begin")};
+        for (size_t J = 1; J < Clause.size(); ++J)
+          Begin.push_back(Clause[J]);
+        If.push_back(Sexpr::list(std::move(Begin)));
+        if (I + 1 < S.size())
+          If.push_back(Build(I + 1));
+        return Sexpr::list(std::move(If));
+      };
+      if (S.size() == 1) {
+        emit(Ctx, Op::PushUnspec);
+        return;
+      }
+      compileExpr(Ctx, Build(1), Tail);
+      return;
+    }
+    if (Sym == "case") {
+      // (case key clauses...) ->
+      // (let ((%case-N key)) (cond ((memv %case-N 'datums) body)... ))
+      if (S.size() < 3)
+        vmFatal("malformed case: %s", S.toString().c_str());
+      std::string Tmp = "%case-" + std::to_string(++TempCounter);
+      std::vector<Sexpr> Cond = {Sexpr::symbol("cond")};
+      for (size_t I = 2; I < S.size(); ++I) {
+        const Sexpr &Clause = S[I];
+        if (!Clause.isList() || Clause.size() < 2)
+          vmFatal("malformed case clause: %s", S.toString().c_str());
+        std::vector<Sexpr> NewClause;
+        if (Clause[0].isSymbol("else")) {
+          NewClause.push_back(Sexpr::symbol("else"));
+        } else {
+          NewClause.push_back(Sexpr::list(
+              {Sexpr::symbol("memv"), Sexpr::symbol(Tmp),
+               Sexpr::list({Sexpr::symbol("quote"), Clause[0]})}));
+        }
+        for (size_t J = 1; J < Clause.size(); ++J)
+          NewClause.push_back(Clause[J]);
+        Cond.push_back(Sexpr::list(std::move(NewClause)));
+      }
+      Sexpr Let = Sexpr::list(
+          {Sexpr::symbol("let"),
+           Sexpr::list({Sexpr::list({Sexpr::symbol(Tmp), S[1]})}),
+           Sexpr::list(std::move(Cond))});
+      compileExpr(Ctx, Let, Tail);
+      return;
+    }
+    if (Sym == "and") {
+      if (S.size() == 1) {
+        emit(Ctx, Op::Const, addConst(Ctx, Value::boolean(true)));
+        return;
+      }
+      if (S.size() == 2) {
+        compileExpr(Ctx, S[1], Tail);
+        return;
+      }
+      std::vector<Sexpr> Rest = {Sexpr::symbol("and")};
+      for (size_t I = 2; I < S.size(); ++I)
+        Rest.push_back(S[I]);
+      Sexpr If = Sexpr::list({Sexpr::symbol("if"), S[1],
+                              Sexpr::list(std::move(Rest)),
+                              Sexpr{}}); // #f placeholder below
+      If.Elems[3].K = Sexpr::Kind::Bool;
+      If.Elems[3].Int = 0;
+      compileExpr(Ctx, If, Tail);
+      return;
+    }
+    if (Sym == "or") {
+      if (S.size() == 1) {
+        emit(Ctx, Op::Const, addConst(Ctx, Value::boolean(false)));
+        return;
+      }
+      if (S.size() == 2) {
+        compileExpr(Ctx, S[1], Tail);
+        return;
+      }
+      std::string Tmp = "%or-" + std::to_string(++TempCounter);
+      std::vector<Sexpr> Rest = {Sexpr::symbol("or")};
+      for (size_t I = 2; I < S.size(); ++I)
+        Rest.push_back(S[I]);
+      Sexpr Let = Sexpr::list(
+          {Sexpr::symbol("let"),
+           Sexpr::list({Sexpr::list({Sexpr::symbol(Tmp), S[1]})}),
+           Sexpr::list({Sexpr::symbol("if"), Sexpr::symbol(Tmp),
+                        Sexpr::symbol(Tmp), Sexpr::list(std::move(Rest))})});
+      compileExpr(Ctx, Let, Tail);
+      return;
+    }
+    if (Sym == "quasiquote") {
+      if (S.size() != 2)
+        vmFatal("malformed quasiquote: %s", S.toString().c_str());
+      compileExpr(Ctx, expandQuasi(S[1], 1), Tail);
+      return;
+    }
+    if (Sym == "unquote" || Sym == "unquote-splicing") {
+      vmFatal("%s outside quasiquote: %s", Sym.c_str(),
+              S.toString().c_str());
+    }
+    if (Sym == "call-with-current-continuation" || Sym == "call/cc") {
+      // Operator-position call/cc only (the common form; continuations
+      // are first-class once captured). Two dialect restrictions:
+      // continuations do not cross top-level form boundaries, and
+      // escapes across an `apply` reentrancy boundary are unsupported.
+      if (S.size() != 2)
+        vmFatal("malformed call/cc: %s", S.toString().c_str());
+      compileExpr(Ctx, S[1], /*Tail=*/false);
+      emit(Ctx, Op::CallCC);
+      return;
+    }
+    if (Sym == "do") {
+      compileExpr(Ctx, expandDo(S), Tail);
+      return;
+    }
+    if (Sym == "when" || Sym == "unless") {
+      if (S.size() < 3)
+        vmFatal("malformed %s: %s", Sym.c_str(), S.toString().c_str());
+      std::vector<Sexpr> Begin = {Sexpr::symbol("begin")};
+      for (size_t I = 2; I < S.size(); ++I)
+        Begin.push_back(S[I]);
+      Sexpr Test = S[1];
+      if (Sym == "unless")
+        Test = Sexpr::list({Sexpr::symbol("not"), std::move(Test)});
+      Sexpr If = Sexpr::list({Sexpr::symbol("if"), std::move(Test),
+                              Sexpr::list(std::move(Begin))});
+      compileExpr(Ctx, If, Tail);
+      return;
+    }
+  }
+
+  compileCall(Ctx, S, Tail);
+}
+
+//===----------------------------------------------------------------------===//
+// Quasiquote and do
+//===----------------------------------------------------------------------===//
+
+namespace {
+Sexpr quoteOf(const Sexpr &S) {
+  return Sexpr::list({Sexpr::symbol("quote"), S});
+}
+bool isTagged(const Sexpr &S, const char *Tag) {
+  return S.isList() && S.size() == 2 && S[0].isSymbol(Tag);
+}
+} // namespace
+
+Sexpr Compiler::expandQuasi(const Sexpr &Template, unsigned Depth) {
+  // Atoms are constants.
+  if (!Template.isList())
+    return quoteOf(Template);
+  if (isTagged(Template, "unquote")) {
+    if (Depth == 1)
+      return Template[1];
+    return Sexpr::list({Sexpr::symbol("list"), quoteOf(Sexpr::symbol("unquote")),
+                        expandQuasi(Template[1], Depth - 1)});
+  }
+  if (isTagged(Template, "quasiquote")) {
+    return Sexpr::list(
+        {Sexpr::symbol("list"), quoteOf(Sexpr::symbol("quasiquote")),
+         expandQuasi(Template[1], Depth + 1)});
+  }
+  if (Template.Elems.empty() && !Template.DottedTail)
+    return quoteOf(Template); // '()
+
+  // Build (cons head-expansion tail-expansion) right to left; splices at
+  // depth 1 become appends.
+  Sexpr Acc = Template.DottedTail ? expandQuasi(*Template.DottedTail, Depth)
+                                  : quoteOf(Sexpr::list({}));
+  for (size_t I = Template.Elems.size(); I-- > 0;) {
+    const Sexpr &Head = Template.Elems[I];
+    if (isTagged(Head, "unquote-splicing") && Depth == 1) {
+      Acc = Sexpr::list({Sexpr::symbol("append"), Head[1], std::move(Acc)});
+      continue;
+    }
+    Acc = Sexpr::list({Sexpr::symbol("cons"), expandQuasi(Head, Depth),
+                       std::move(Acc)});
+  }
+  return Acc;
+}
+
+Sexpr Compiler::expandDo(const Sexpr &S) {
+  // (do ((v init step)...) (test res...) body...) ->
+  // (let %do-N ((v init)...)
+  //   (if test (begin res...) (begin body... (%do-N step...))))
+  if (S.size() < 3 || !S[1].isList() || !S[2].isList() || S[2].size() < 1)
+    vmFatal("malformed do: %s", S.toString().c_str());
+  std::string Loop = "%do-" + std::to_string(++TempCounter);
+
+  std::vector<Sexpr> Bindings;
+  std::vector<Sexpr> Steps = {Sexpr::symbol(Loop)};
+  for (const Sexpr &B : S[1].Elems) {
+    if (!B.isList() || B.size() < 2 || B.size() > 3 ||
+        B[0].K != Sexpr::Kind::Symbol)
+      vmFatal("malformed do binding: %s", S.toString().c_str());
+    Bindings.push_back(Sexpr::list({B[0], B[1]}));
+    Steps.push_back(B.size() == 3 ? B[2] : B[0]);
+  }
+
+  std::vector<Sexpr> Result = {Sexpr::symbol("begin")};
+  for (size_t I = 1; I < S[2].size(); ++I)
+    Result.push_back(S[2][I]);
+  if (Result.size() == 1) {
+    // No result expressions: yield the unspecified value via (if #f #f).
+    Sexpr F;
+    F.K = Sexpr::Kind::Bool;
+    F.Int = 0;
+    Result.push_back(Sexpr::list({Sexpr::symbol("if"), F, F}));
+  }
+
+  std::vector<Sexpr> Body = {Sexpr::symbol("begin")};
+  for (size_t I = 3; I < S.size(); ++I)
+    Body.push_back(S[I]);
+  Body.push_back(Sexpr::list(std::move(Steps)));
+
+  Sexpr If = Sexpr::list({Sexpr::symbol("if"), S[2][0],
+                          Sexpr::list(std::move(Result)),
+                          Sexpr::list(std::move(Body))});
+  return Sexpr::list({Sexpr::symbol("let"), Sexpr::symbol(Loop),
+                      Sexpr::list(std::move(Bindings)), std::move(If)});
+}
+
+//===----------------------------------------------------------------------===//
+// Top level
+//===----------------------------------------------------------------------===//
+
+uint32_t Compiler::compileToplevel(const Sexpr &Form) {
+  FnCtx Ctx;
+  Ctx.Code.Name = "toplevel";
+  Ctx.NextSlot = Ctx.MaxSlot = 1;
+  // Top-level let/letrec bindings assigned anywhere in the form (e.g.
+  // from an inner lambda) must be boxed, exactly as in lambda bodies.
+  collectAssigned(Form, Ctx.Assigned);
+  compileExpr(Ctx, Form, /*Tail=*/false);
+  emit(Ctx, Op::Return);
+  Ctx.Code.NumLocals = Ctx.MaxSlot - 1;
+  assert(Ctx.FreeVars.empty() && "top level cannot capture variables");
+  return M.addCode(std::move(Ctx.Code));
+}
+
+Value gcache::compileAndRun(VM &M, const std::string &Source) {
+  ReadResult R = readAll(Source);
+  if (!R.Ok)
+    vmFatal("%s", R.Error.c_str());
+  Compiler C(M);
+  Value Result = Value::unspecified();
+  for (const Sexpr &Form : R.Data) {
+    uint32_t Id = C.compileToplevel(Form);
+    Result = M.executeCode(Id);
+  }
+  return Result;
+}

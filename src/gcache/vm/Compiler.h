@@ -1,0 +1,114 @@
+//===- Compiler.h - Scheme to bytecode compiler -----------------*- C++ -*-===//
+//
+// Part of the gcache project (Reinhold, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compiles S-expressions to VM bytecode: lexical addressing with flat
+/// (display) closures, assignment conversion (every set!-assigned binding
+/// is boxed in a heap cell, so closures can share mutable state), proper
+/// tail calls, quoted data materialized in the static area, and direct
+/// "integrable" calls for primitives named in operator position — the
+/// standard orbit-style early binding of car/cdr/+/....
+///
+/// Special forms: quote, quasiquote (with unquote/unquote-splicing and
+/// proper nesting), if, begin, lambda, define (top-level and internal),
+/// set!, let, let*, letrec, named let, do, cond (with else), case (with
+/// else), and, or, when, unless.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCACHE_VM_COMPILER_H
+#define GCACHE_VM_COMPILER_H
+
+#include "gcache/vm/Bytecode.h"
+#include "gcache/vm/Sexpr.h"
+#include "gcache/vm/VM.h"
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace gcache {
+
+/// Compiles top-level forms against a VM's symbol table, primitive table,
+/// and code table.
+class Compiler {
+public:
+  explicit Compiler(VM &M) : M(M) {}
+
+  /// Compiles one top-level form into a zero-argument code object and
+  /// returns its id (execute with VM::executeCode).
+  uint32_t compileToplevel(const Sexpr &Form);
+
+private:
+  struct Binding {
+    std::string Name;
+    uint32_t Slot;
+    bool Boxed;
+  };
+
+  struct FreeVar {
+    std::string Name;
+    bool Boxed;
+  };
+
+  /// Per-lambda compilation state.
+  struct FnCtx {
+    CodeObject Code;
+    std::vector<Binding> Env;
+    std::vector<FreeVar> FreeVars;
+    std::set<std::string> Assigned; ///< set! targets in this lambda's body.
+    uint32_t NextSlot = 1;
+    uint32_t MaxSlot = 1;
+    FnCtx *Parent = nullptr;
+  };
+
+  /// Where a variable reference resolves to.
+  struct Loc {
+    enum class Kind { Local, Free, Global } K;
+    uint32_t Index = 0; ///< Slot or free index.
+    bool Boxed = false;
+  };
+
+  Loc resolve(FnCtx &Ctx, const std::string &Name);
+  uint32_t allocSlot(FnCtx &Ctx);
+  uint32_t addConst(FnCtx &Ctx, Value V);
+  void emit(FnCtx &Ctx, Op O, uint32_t A = 0, uint32_t B = 0);
+  size_t emitPlaceholder(FnCtx &Ctx, Op O);
+  void patchTarget(FnCtx &Ctx, size_t At);
+
+  void compileExpr(FnCtx &Ctx, const Sexpr &S, bool Tail);
+  void compileBody(FnCtx &Ctx, const std::vector<Sexpr> &Forms, size_t From,
+                   bool Tail);
+  void compileVarRef(FnCtx &Ctx, const std::string &Name);
+  void compileSet(FnCtx &Ctx, const Sexpr &S);
+  void compileLambda(FnCtx &Parent, const Sexpr &S, const std::string &Name);
+  void compileLet(FnCtx &Ctx, const Sexpr &S, bool Tail);
+  void compileNamedLet(FnCtx &Ctx, const Sexpr &S, bool Tail);
+  void compileLetrec(FnCtx &Ctx, const Sexpr &S, bool Tail);
+  void compileCall(FnCtx &Ctx, const Sexpr &S, bool Tail);
+  /// Standard quasiquote expansion with nesting depth; yields core forms
+  /// built from cons/append/quote.
+  Sexpr expandQuasi(const Sexpr &Template, unsigned Depth);
+  Sexpr expandDo(const Sexpr &S);
+
+  static void collectAssigned(const Sexpr &S, std::set<std::string> &Out);
+  /// Rewrites leading internal defines into a letrec, returning the new
+  /// body forms.
+  static std::vector<Sexpr> expandInternalDefines(const std::vector<Sexpr> &Body,
+                                                  size_t From);
+
+  VM &M;
+  uint64_t TempCounter = 0; ///< For hygienic desugaring temps.
+};
+
+/// Convenience: reads, compiles and runs all forms in \p Source on \p M.
+/// Returns the value of the last form (unspecified for an empty source).
+/// Aborts via vmFatal on read or compile errors.
+Value compileAndRun(VM &M, const std::string &Source);
+
+} // namespace gcache
+
+#endif // GCACHE_VM_COMPILER_H

@@ -1,0 +1,146 @@
+//===- Prelude.h - The Scheme standard library -------------------*- C++ -*-===//
+//
+// Part of the gcache project (Reinhold, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The library loaded into every SchemeSystem before user code: list
+/// utilities, higher-order functions, and conversion helpers, written in
+/// Scheme. Loading happens in load mode, so these closures live in the
+/// static area — they are the paper's "busy static blocks [containing]
+/// closures for frequently-called procedures".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCACHE_VM_PRELUDE_H
+#define GCACHE_VM_PRELUDE_H
+
+namespace gcache {
+
+/// Scheme source of the prelude.
+inline const char *preludeSource() {
+  return R"scheme(
+(define (list . xs) xs)
+
+(define (length l)
+  (let loop ((l l) (n 0))
+    (if (null? l) n (loop (cdr l) (+ n 1)))))
+
+(define (append2 a b)
+  (if (null? a) b (cons (car a) (append2 (cdr a) b))))
+
+(define (append . ls)
+  (cond ((null? ls) '())
+        ((null? (cdr ls)) (car ls))
+        (else (append2 (car ls) (apply append (cdr ls))))))
+
+(define (reverse l)
+  (let loop ((l l) (acc '()))
+    (if (null? l) acc (loop (cdr l) (cons (car l) acc)))))
+
+(define (list-tail l k)
+  (if (= k 0) l (list-tail (cdr l) (- k 1))))
+
+(define (list-ref l k) (car (list-tail l k)))
+
+(define (member x l)
+  (cond ((null? l) #f)
+        ((equal? (car l) x) l)
+        (else (member x (cdr l)))))
+
+(define (assv x l)
+  (cond ((null? l) #f)
+        ((eqv? (caar l) x) (car l))
+        (else (assv x (cdr l)))))
+
+(define (assoc x l)
+  (cond ((null? l) #f)
+        ((equal? (caar l) x) (car l))
+        (else (assoc x (cdr l)))))
+
+(define (list? l)
+  (cond ((null? l) #t)
+        ((pair? l) (list? (cdr l)))
+        (else #f)))
+
+(define (map1 f l)
+  (if (null? l) '() (cons (f (car l)) (map1 f (cdr l)))))
+
+(define (map2 f a b)
+  (if (or (null? a) (null? b))
+      '()
+      (cons (f (car a) (car b)) (map2 f (cdr a) (cdr b)))))
+
+(define (map f . ls)
+  (if (null? (cdr ls))
+      (map1 f (car ls))
+      (map2 f (car ls) (cadr ls))))
+
+(define (for-each1 f l)
+  (if (null? l) #f (begin (f (car l)) (for-each1 f (cdr l)))))
+
+(define (for-each f . ls)
+  (if (null? (cdr ls))
+      (for-each1 f (car ls))
+      (error "for-each: only unary supported")))
+
+(define (filter p l)
+  (cond ((null? l) '())
+        ((p (car l)) (cons (car l) (filter p (cdr l))))
+        (else (filter p (cdr l)))))
+
+(define (fold-left f acc l)
+  (if (null? l) acc (fold-left f (f acc (car l)) (cdr l))))
+
+(define (fold-right f acc l)
+  (if (null? l) acc (f (car l) (fold-right f acc (cdr l)))))
+
+(define (vector->list v)
+  (let loop ((i (- (vector-length v) 1)) (acc '()))
+    (if (< i 0) acc (loop (- i 1) (cons (vector-ref v i) acc)))))
+
+(define (list->vector l)
+  (let ((v (make-vector (length l) 0)))
+    (let loop ((l l) (i 0))
+      (if (null? l)
+          v
+          (begin (vector-set! v i (car l)) (loop (cdr l) (+ i 1)))))))
+
+(define (string->list s)
+  (let loop ((i (- (string-length s) 1)) (acc '()))
+    (if (< i 0) acc (loop (- i 1) (cons (string-ref s i) acc)))))
+
+(define (1+ n) (+ n 1))
+(define (-1+ n) (- n 1))
+
+(define (iota n)
+  (let loop ((i (- n 1)) (acc '()))
+    (if (< i 0) acc (loop (- i 1) (cons i acc)))))
+
+(define (last-pair l)
+  (if (null? (cdr l)) l (last-pair (cdr l))))
+
+(define (list-copy l)
+  (if (null? l) '() (cons (car l) (list-copy (cdr l)))))
+
+(define (vector-copy v)
+  (let ((n (vector-length v)))
+    (let ((w (make-vector n 0)))
+      (let loop ((i 0))
+        (if (= i n) w (begin (vector-set! w i (vector-ref v i))
+                             (loop (+ i 1))))))))
+
+(define (string->number-digits s)
+  (let loop ((i 0) (n 0))
+    (if (= i (string-length s))
+        n
+        (loop (+ i 1)
+              (+ (* n 10) (- (char->integer (string-ref s i))
+                             (char->integer #\0)))))))
+)scheme";
+}
+
+} // namespace gcache
+
+#endif // GCACHE_VM_PRELUDE_H

@@ -1,0 +1,30 @@
+//===- Primitives.h - Built-in procedures ------------------------*- C++ -*-===//
+//
+// Part of the gcache project (Reinhold, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Registration of the VM's primitive procedures: pairs, generic
+/// fixnum/flonum arithmetic, vectors, strings, characters, predicates,
+/// output, apply, and the T-style address-keyed hash tables. Higher-level
+/// list utilities (map, append, assoc, ...) live in the Scheme prelude
+/// (Prelude.h), which exercises the compiler and keeps the reference
+/// behaviour Scheme-like.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCACHE_VM_PRIMITIVES_H
+#define GCACHE_VM_PRIMITIVES_H
+
+namespace gcache {
+
+class VM;
+
+/// Installs every primitive into \p M's primitive table. Call once,
+/// before compiling anything (the compiler integrates primitive calls).
+void registerPrimitives(VM &M);
+
+} // namespace gcache
+
+#endif // GCACHE_VM_PRIMITIVES_H

@@ -1,0 +1,92 @@
+//===- SchemeSystem.h - Heap + collector + VM facade ------------*- C++ -*-===//
+//
+// Part of the gcache project (Reinhold, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Wires a complete Scheme system: a traced heap, a collector (none /
+/// Cheney / generational, per configuration), the VM with its primitives,
+/// and the Scheme prelude, loaded in load mode into the static area. The
+/// experiment drivers use this facade as "the T system": loadDefinitions()
+/// installs a program, run() performs the measured, traced program run.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCACHE_VM_SCHEMESYSTEM_H
+#define GCACHE_VM_SCHEMESYSTEM_H
+
+#include "gcache/gc/CheneyCollector.h"
+#include "gcache/gc/Collector.h"
+#include "gcache/gc/GenerationalCollector.h"
+#include "gcache/gc/MarkSweepCollector.h"
+#include "gcache/vm/VM.h"
+
+#include <memory>
+#include <string>
+
+namespace gcache {
+
+/// Which collector manages the dynamic area.
+enum class GcKind : uint8_t {
+  None,         ///< Linear allocation, unbounded (the §5 control).
+  Cheney,       ///< Semispace compacting collector (§6).
+  Generational, ///< Two-generation collector (§6 discussion).
+  MarkSweep,    ///< Non-moving free-list collector (§8 counterfactual).
+};
+
+/// System configuration.
+struct SchemeSystemConfig {
+  GcKind Gc = GcKind::None;
+  /// Cheney semispace size (the paper's runs use 16 MB).
+  uint32_t SemispaceBytes = 16u << 20;
+  /// Generational sizing; NurseryBytes <= cache size gives the paper's
+  /// "aggressive" collector.
+  GenerationalConfig Generational;
+  /// Receives the trace of the measured run (may be null).
+  TraceSink *Bus = nullptr;
+  /// Echo display output to stderr.
+  bool EchoOutput = false;
+  /// Seed for the static-area scatter layout (0 = default layout).
+  uint64_t LayoutSeed = 0;
+};
+
+/// Statistics of one measured run.
+struct RunStats {
+  uint64_t Instructions = 0;      ///< I_prog (mutator instructions).
+  uint64_t ExtraInstructions = 0; ///< ΔI_prog (rehash + barrier work).
+  uint64_t DynamicBytes = 0;      ///< Bytes allocated during the run.
+  GcStats Gc;                     ///< Collector activity during the run.
+};
+
+/// A complete, ready-to-run Scheme system.
+class SchemeSystem {
+public:
+  explicit SchemeSystem(const SchemeSystemConfig &Config);
+  ~SchemeSystem();
+
+  VM &vm() { return *TheVM; }
+  Heap &heap() { return *TheHeap; }
+  Collector &collector() { return *TheCollector; }
+  const SchemeSystemConfig &config() const { return Config; }
+
+  /// Loads program text in load mode (untraced; allocates statically).
+  void loadDefinitions(const std::string &Source);
+
+  /// Compiles \p Source, then executes it traced in run mode, returning
+  /// the value of the last form. Statistics land in lastRunStats().
+  Value run(const std::string &Source);
+
+  const RunStats &lastRunStats() const { return LastRun; }
+
+private:
+  SchemeSystemConfig Config;
+  std::unique_ptr<Heap> TheHeap;
+  std::unique_ptr<VM> TheVM;
+  std::unique_ptr<Collector> TheCollector;
+  RunStats LastRun;
+};
+
+} // namespace gcache
+
+#endif // GCACHE_VM_SCHEMESYSTEM_H

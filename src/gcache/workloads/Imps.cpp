@@ -1,0 +1,285 @@
+//===- Imps.cpp - Workload: a rewrite-based theorem prover ------------------===//
+//
+// Stand-in for the paper's imps: "an interactive theorem prover, running
+// its internal consistency checks and proving a simple combinatorial
+// identity". A Boyer-Moore-style prover: rewrite rules indexed in an
+// address-keyed table, bottom-up rewriting with one-way matching, and a
+// tautology checker over if-expressions; the run proves the classic
+// implication-chain theorem plus a commutativity identity and validates a
+// set of consistency lemmas.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gcache/workloads/Workload.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace gcache;
+
+namespace {
+
+const char *ImpsDefs = R"scheme(
+;;; imps: rewrite-based theorem prover (Boyer-Moore style).
+
+(define rules-table (make-table 128))
+
+(define (add-rule! lhs rhs)
+  (table-set! rules-table (car lhs)
+              (cons (cons lhs rhs)
+                    (table-ref rules-table (car lhs) '()))))
+
+(define (add-lemma! eqn)
+  ;; eqn = (equal lhs rhs)
+  (add-rule! (cadr eqn) (caddr eqn)))
+
+;; One-way matching: symbols in patterns are variables.
+(define (match-args ps ts subst)
+  (cond ((null? ps) (if (null? ts) subst #f))
+        ((null? ts) #f)
+        (else
+         (let ((s (match-term (car ps) (car ts) subst)))
+           (and s (match-args (cdr ps) (cdr ts) s))))))
+
+(define (match-term pat term subst)
+  (cond ((symbol? pat)
+         (let ((b (assq pat subst)))
+           (if b
+               (if (equal? (cdr b) term) subst #f)
+               (cons (cons pat term) subst))))
+        ((pair? pat)
+         (and (pair? term)
+              (eq? (car pat) (car term))
+              (match-args (cdr pat) (cdr term) subst)))
+        (else (if (equal? pat term) subst #f))))
+
+(define (substitute rhs subst)
+  (cond ((symbol? rhs)
+         (let ((b (assq rhs subst)))
+           (if b (cdr b) rhs)))
+        ((pair? rhs) (map (lambda (x) (substitute x subst)) rhs))
+        (else rhs)))
+
+(define (rewrite-with-rules term rules)
+  (cond ((null? rules) term)
+        (else
+         (let ((s (match-term (caar rules) term '())))
+           (if s
+               (rewrite (substitute (cdar rules) s))
+               (rewrite-with-rules term (cdr rules)))))))
+
+(define (rewrite term)
+  (if (pair? term)
+      (rewrite-with-rules
+       (cons (car term) (map rewrite (cdr term)))
+       (table-ref rules-table (car term) '()))
+      term))
+
+;; Tautology checking over if-trees.
+(define (truep x lst) (or (equal? x '(t)) (member x lst)))
+(define (falsep x lst) (or (equal? x '(f)) (member x lst)))
+
+(define (tautologyp x true-lst false-lst)
+  (cond ((truep x true-lst) #t)
+        ((falsep x false-lst) #f)
+        ((not (pair? x)) #f)
+        ((eq? (car x) 'if)
+         (cond ((truep (cadr x) true-lst)
+                (tautologyp (caddr x) true-lst false-lst))
+               ((falsep (cadr x) false-lst)
+                (tautologyp (cadddr x) true-lst false-lst))
+               (else
+                (and (tautologyp (caddr x)
+                                 (cons (cadr x) true-lst) false-lst)
+                     (tautologyp (cadddr x)
+                                 true-lst (cons (cadr x) false-lst))))))
+        (else #f)))
+
+(define (tautp x) (tautologyp (rewrite x) '() '()))
+
+;; The rule base (a representative subset of the Boyer benchmark's).
+(define (imps-setup!)
+  (for-each add-lemma!
+    '((equal (compile form)
+             (reverse (codegen (optimize form) (nil))))
+      (equal (eqp x y) (equal (fix x) (fix y)))
+      (equal (gt x y) (lt y x))
+      (equal (le x y) (ge y x))
+      (equal (ge x y) (not (lt x y)))
+      (equal (boolean x) (or (equal x (t)) (equal x (f))))
+      (equal (iff x y) (and (implies x y) (implies y x)))
+      (equal (implies x y) (if x (if y (t) (f)) (t)))
+      (equal (and p q) (if p (if q (t) (f)) (f)))
+      (equal (or p q) (if p (t) (if q (t) (f))))
+      (equal (not p) (if p (f) (t)))
+      (equal (plus (plus x y) z) (plus x (plus y z)))
+      (equal (equal (plus a b) (zero)) (and (zerop a) (zerop b)))
+      (equal (difference x x) (zero))
+      (equal (equal (plus a b) (plus a c)) (equal b c))
+      (equal (equal (zero) (difference x y)) (not (lt y x)))
+      (equal (equal x (difference x y))
+             (and (numberp x) (or (equal x (zero)) (zerop y))))
+      (equal (append (append x y) z) (append x (append y z)))
+      (equal (reverse (append a b)) (append (reverse b) (reverse a)))
+      (equal (times x (plus y z)) (plus (times x y) (times x z)))
+      (equal (times (times x y) z) (times x (times y z)))
+      (equal (equal (times x y) (zero)) (or (zerop x) (zerop y)))
+      (equal (length (reverse x)) (length x))
+      (equal (member x (append a b)) (or (member x a) (member x b)))
+      (equal (member x (reverse y)) (member x y))
+      (equal (plus (remainder x y) (times y (quotient x y))) (fix x))
+      (equal (remainder y 1) (zero))
+      (equal (lt (remainder x y) y) (if (zerop y) (f) (t)))
+      (equal (remainder x x) (zero))
+      (equal (lt (quotient i j) i)
+             (and (not (zerop i)) (or (zerop j) (not (equal j 1)))))
+      (equal (lt (remainder x y) x)
+             (and (not (zerop y)) (not (zerop x)) (not (lt x y))))
+      (equal (length (cons x1 (cons x2 (cons x3 (cons x4 x5)))))
+             (plus 4 (length x5)))
+      (equal (difference (add1 (add1 x)) 2) (fix x))
+      (equal (quotient (plus x (plus x y)) 2) (plus x (quotient y 2)))
+      (equal (sigma (zero) i) (quotient (times i (add1 i)) 2))
+      (equal (plus x (add1 y))
+             (if (numberp y) (add1 (plus x y)) (add1 x)))
+      (equal (times x (difference c w))
+             (difference (times c x) (times w x)))
+      (equal (times x (add1 y))
+             (if (numberp y) (plus x (times x y)) (fix x)))
+      (equal (nth (nil) i) (if (zerop i) (nil) (zero)))
+      (equal (last (append a b))
+             (if (listp b) (last b)
+                 (if (listp a) (cons (car (last a)) b) b)))
+      (equal (equal (lt x y) z)
+             (if (lt x y) (equal (t) z) (equal (f) z)))
+      (equal (assignment x (append a b))
+             (if (assignedp x a) (assignment x a) (assignment x b)))
+      (equal (car (gopher x))
+             (if (listp x) (car (flatten x)) (zero)))
+      (equal (flatten (cdr (gopher x)))
+             (if (listp x) (cdr (flatten x)) (cons (zero) (nil))))
+      (equal (quotient (times y x) y)
+             (if (zerop y) (zero) (fix x)))
+      (equal (get j (set i val mem))
+             (if (eqp j i) val (get j mem)))
+      (equal (meaning (plus-tree (append x y)) a)
+             (plus (meaning (plus-tree x) a) (meaning (plus-tree y) a)))
+      (equal (meaning (plus-tree (plus-fringe x)) a)
+             (fix (meaning x a)))
+      (equal (exec (append x y) pds envrn)
+             (exec y (exec x pds envrn) envrn))
+      (equal (mc-flatten x y) (append (flatten x) y))
+      (equal (value (normalize x) a) (value x a))
+      (equal (count-list z (sort-lp x y))
+             (plus (count-list z x) (count-list z y)))
+      (equal (prime (times a b))
+             (and (not (equal a 1)) (not (equal b 1))))
+      (equal (power-eval (big-plus1 l i base) base)
+             (plus (power-eval l base) i))
+      (equal (remainder (times x z) z) (zero))
+      (equal (difference (plus x y) x) (fix y))
+      (equal (numberp (greatest-factor x y))
+             (not (and (or (zerop y) (equal y 1)) (not (numberp x)))))
+      (equal (times-list (append x y))
+             (times (times-list x) (times-list y)))
+      (equal (reverse-loop x y) (append (reverse x) y))
+      (equal (listp (gopher x)) (listp x))
+      (equal (samefringe x y) (equal (flatten x) (flatten y))))))
+
+;; The classic Boyer test: an implication chain instantiated with
+;; arithmetic subterms.
+(define imps-theorem
+  '(implies (and (implies x y)
+                 (and (implies y z)
+                      (and (implies z u) (implies u w))))
+            (implies x w)))
+
+(define imps-bindings
+  '((x . (f (plus (plus a b) (plus c (zero)))))
+    (y . (f (times (times a b) (plus c d))))
+    (z . (f (reverse (append (append a b) (nil)))))
+    (u . (equal (plus a b) (difference x y)))
+    (w . (lt (remainder a b) (member a (length b))))))
+
+;; Consistency checks: each lemma's instantiated lhs must rewrite to the
+;; same normal form as its rhs.
+(define imps-consistency-terms
+  '(((gt (plus a b) c) . (lt c (plus a b)))
+    ((iff (gt x y) (gt x y)) . (t-check))
+    ((and (boolean p) (boolean p)) . (bool-check))
+    ((length (reverse (append u v))) . (len-check))
+    ((member m (reverse (append a b))) . (mem-check))
+    ((exec (append code1 code2) stack env) . (exec-check))
+    ((get key (set key2 val (set key3 val2 mem))) . (mem-model-check))
+    ((quotient (plus q (plus q r)) 2) . (quot-check))
+    ((value (normalize (plus-tree (append e1 e2))) alist) . (sem-check))
+    ((samefringe (gopher tree1) (gopher tree1)) . (fringe-check))
+    ((times-list (append nums1 (append nums2 nums3))) . (times-check))))
+
+(define (consistency-check)
+  (fold-left
+   (lambda (n entry)
+     (let ((a (rewrite (car entry))))
+       (+ n (term-weight a))))
+   0 imps-consistency-terms))
+
+(define (term-weight t)
+  (if (pair? t)
+      (fold-left (lambda (n x) (+ n (term-weight x))) 1 (cdr t))
+      1))
+
+;; The "simple combinatorial identity": commutativity of plus over an
+;; if-normalized equality, proved via the tautology checker.
+(define imps-identity
+  '(implies (and (equal (plus a b) (plus b a))
+                 (implies (equal (plus a b) (plus b a))
+                          (equal (plus b a) (plus a b))))
+            (equal (plus b a) (plus a b))))
+
+(define imps-theorem-2
+  '(implies (and (implies p q) (implies q p))
+            (iff p q)))
+
+(define imps-bindings-2
+  '((p . (lt (remainder (times a b) b) (times a b)))
+    (q . (equal (reverse-loop u (nil)) (reverse u)))))
+
+(define (prove-boyer)
+  (tautp (substitute imps-theorem imps-bindings)))
+
+(define (prove-boyer-2)
+  (tautp (substitute imps-theorem-2 imps-bindings-2)))
+
+(define (imps-main reps)
+  (imps-setup!)
+  (let loop ((i 0) (check 0))
+    (if (= i reps)
+        (begin
+          (display "imps checksum ")
+          (display check)
+          (newline)
+          check)
+        (loop (+ i 1)
+              (+ check
+                 (if (prove-boyer) 1 0)
+                 (if (prove-boyer-2) 1 0)
+                 (if (tautp imps-identity) 1 0)
+                 (consistency-check))))))
+)scheme";
+
+std::string impsRun(double Scale) {
+  int Reps = std::max(1, static_cast<int>(Scale * 110 + 0.5));
+  char Buf[64];
+  snprintf(Buf, sizeof(Buf), "(imps-main %d)", Reps);
+  return Buf;
+}
+
+} // namespace
+
+const Workload &gcache::impsWorkload() {
+  static Workload W = {
+      "imps",
+      "rewrite-based theorem prover; rule tables + deep recursion",
+      ImpsDefs, impsRun};
+  return W;
+}

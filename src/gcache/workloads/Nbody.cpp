@@ -1,0 +1,201 @@
+//===- Nbody.cpp - Workload: linear-time 3-D N-body simulation ---------------===//
+//
+// Stand-in for the paper's nbody: "an implementation of Zhao's linear-time
+// three-dimensional N-body simulation algorithm, computing the
+// accelerations of 256 point masses distributed uniformly in a cube and
+// starting at rest". The linear-time structure is reproduced with a cell
+// decomposition: particles are binned into a 4x4x4 grid; forces within a
+// particle's own cell are exact pairwise, and every other cell acts
+// through its centroid (a multipole-style far-field approximation). All
+// real arithmetic allocates boxed flonums, as in a Scheme system of the
+// period, and the per-particle state lives in a handful of hot vectors.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gcache/workloads/Workload.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace gcache;
+
+namespace {
+
+const char *NbodyDefs = R"scheme(
+;;; nbody: cell-decomposition N-body in the style of Zhao's algorithm.
+
+(define nbody-n 256)
+(define cells-side 4)
+(define cells-count 64)
+
+;; Deterministic small LCG (stays within the fixnum range).
+(define nbody-seed 1234)
+(define (nbody-random!)
+  (set! nbody-seed (modulo (+ (* nbody-seed 2139) 2251) 16381))
+  (/ (exact->inexact nbody-seed) 16381.0))
+
+;; Structure-of-arrays particle state.
+(define xs (make-vector nbody-n 0.0))
+(define ys (make-vector nbody-n 0.0))
+(define zs (make-vector nbody-n 0.0))
+(define vxs (make-vector nbody-n 0.0))
+(define vys (make-vector nbody-n 0.0))
+(define vzs (make-vector nbody-n 0.0))
+(define ms (make-vector nbody-n 0.0))
+
+(define (nbody-init!)
+  (set! nbody-seed 1234)
+  (let loop ((i 0))
+    (if (< i nbody-n)
+        (begin
+          (vector-set! xs i (nbody-random!))
+          (vector-set! ys i (nbody-random!))
+          (vector-set! zs i (nbody-random!))
+          (vector-set! vxs i 0.0)   ; starting at rest
+          (vector-set! vys i 0.0)
+          (vector-set! vzs i 0.0)
+          (vector-set! ms i (+ 0.5 (nbody-random!)))
+          (loop (+ i 1))))))
+
+(define (clamp-cell c) (min (- cells-side 1) (max 0 c)))
+
+(define (cell-of i)
+  (let ((cx (clamp-cell (inexact->exact (floor (* (vector-ref xs i) 4.0)))))
+        (cy (clamp-cell (inexact->exact (floor (* (vector-ref ys i) 4.0)))))
+        (cz (clamp-cell (inexact->exact (floor (* (vector-ref zs i) 4.0))))))
+    (+ cx (* cells-side (+ cy (* cells-side cz))))))
+
+;; Step state: member lists and centroid summaries per cell.
+(define cell-members (make-vector cells-count '()))
+(define cell-mass (make-vector cells-count 0.0))
+(define cell-cx (make-vector cells-count 0.0))
+(define cell-cy (make-vector cells-count 0.0))
+(define cell-cz (make-vector cells-count 0.0))
+
+(define (bin-particles!)
+  (vector-fill! cell-members '())
+  (let loop ((i 0))
+    (if (< i nbody-n)
+        (let ((c (cell-of i)))
+          (vector-set! cell-members c (cons i (vector-ref cell-members c)))
+          (loop (+ i 1))))))
+
+(define (summarize-cells!)
+  (let loop ((c 0))
+    (if (< c cells-count)
+        (let ((members (vector-ref cell-members c)))
+          (let sum ((l members) (m 0.0) (sx 0.0) (sy 0.0) (sz 0.0))
+            (if (null? l)
+                (begin
+                  (vector-set! cell-mass c m)
+                  (if (> m 0.0)
+                      (begin (vector-set! cell-cx c (/ sx m))
+                             (vector-set! cell-cy c (/ sy m))
+                             (vector-set! cell-cz c (/ sz m)))))
+                (let ((i (car l)))
+                  (sum (cdr l)
+                       (+ m (vector-ref ms i))
+                       (+ sx (* (vector-ref ms i) (vector-ref xs i)))
+                       (+ sy (* (vector-ref ms i) (vector-ref ys i)))
+                       (+ sz (* (vector-ref ms i) (vector-ref zs i)))))))
+          (loop (+ c 1))))))
+
+;; Softened inverse-cube kernel; returns the acceleration contribution of
+;; a point mass m at (px py pz) on the particle at (x y z), as a list.
+(define (kernel x y z px py pz m)
+  (let ((dx (- px x)) (dy (- py y)) (dz (- pz z)))
+    (let ((r2 (+ (* dx dx) (+ (* dy dy) (+ (* dz dz) 0.0025)))))
+      (let ((inv (/ m (* r2 (sqrt r2)))))
+        (list (* dx inv) (* dy inv) (* dz inv))))))
+
+(define (accel-on i)
+  (let ((x (vector-ref xs i)) (y (vector-ref ys i)) (z (vector-ref zs i))
+        (own (cell-of i)))
+    ;; Far field: every other cell through its centroid.
+    (let far ((c 0) (ax 0.0) (ay 0.0) (az 0.0))
+      (cond ((= c cells-count)
+             ;; Near field: exact pairwise within the particle's own cell.
+             (let near ((l (vector-ref cell-members own))
+                        (ax ax) (ay ay) (az az))
+               (if (null? l)
+                   (list ax ay az)
+                   (let ((j (car l)))
+                     (if (= i j)
+                         (near (cdr l) ax ay az)
+                         (let ((k (kernel x y z
+                                          (vector-ref xs j)
+                                          (vector-ref ys j)
+                                          (vector-ref zs j)
+                                          (vector-ref ms j))))
+                           (near (cdr l)
+                                 (+ ax (car k))
+                                 (+ ay (cadr k))
+                                 (+ az (caddr k)))))))))
+            ((= c own) (far (+ c 1) ax ay az))
+            ((> (vector-ref cell-mass c) 0.0)
+             (let ((k (kernel x y z
+                              (vector-ref cell-cx c)
+                              (vector-ref cell-cy c)
+                              (vector-ref cell-cz c)
+                              (vector-ref cell-mass c))))
+               (far (+ c 1)
+                    (+ ax (car k)) (+ ay (cadr k)) (+ az (caddr k)))))
+            (else (far (+ c 1) ax ay az))))))
+
+(define nbody-dt 0.001)
+
+(define (nbody-step!)
+  (bin-particles!)
+  (summarize-cells!)
+  (let loop ((i 0))
+    (if (< i nbody-n)
+        (let ((a (accel-on i)))
+          (vector-set! vxs i (+ (vector-ref vxs i) (* nbody-dt (car a))))
+          (vector-set! vys i (+ (vector-ref vys i) (* nbody-dt (cadr a))))
+          (vector-set! vzs i (+ (vector-ref vzs i) (* nbody-dt (caddr a))))
+          (loop (+ i 1)))))
+  (let loop ((i 0))
+    (if (< i nbody-n)
+        (begin
+          (vector-set! xs i (+ (vector-ref xs i) (* nbody-dt (vector-ref vxs i))))
+          (vector-set! ys i (+ (vector-ref ys i) (* nbody-dt (vector-ref vys i))))
+          (vector-set! zs i (+ (vector-ref zs i) (* nbody-dt (vector-ref vzs i))))
+          (loop (+ i 1))))))
+
+(define (nbody-energy-proxy)
+  (let loop ((i 0) (acc 0.0))
+    (if (= i nbody-n)
+        acc
+        (loop (+ i 1)
+              (+ acc (abs (vector-ref vxs i))
+                     (abs (vector-ref vys i))
+                     (abs (vector-ref vzs i)))))))
+
+(define (nbody-main steps)
+  (nbody-init!)
+  (let loop ((s 0))
+    (if (< s steps)
+        (begin (nbody-step!) (loop (+ s 1)))))
+  (let ((e (nbody-energy-proxy)))
+    (display "nbody checksum ")
+    (display (inexact->exact (floor (* e 1000.0))))
+    (newline)
+    e))
+)scheme";
+
+std::string nbodyRun(double Scale) {
+  int Steps = std::max(1, static_cast<int>(Scale * 8 + 0.5));
+  char Buf[64];
+  snprintf(Buf, sizeof(Buf), "(nbody-main %d)", Steps);
+  return Buf;
+}
+
+} // namespace
+
+const Workload &gcache::nbodyWorkload() {
+  static Workload W = {
+      "nbody",
+      "cell-based 3-D N-body; boxed flonum arithmetic over hot vectors",
+      NbodyDefs, nbodyRun};
+  return W;
+}

@@ -1,0 +1,460 @@
+//===- Orbit.cpp - Workload: a Scheme compiler compiling itself -------------===//
+//
+// Stand-in for the paper's orbit: "the native compiler of the T system,
+// compiling itself". A five-pass compiler — macro expansion to a core
+// language, alpha renaming, free-variable analysis with flat closure
+// conversion, code generation to a stack machine, and a peephole pass —
+// run over a quoted copy of its own front end. Global usage statistics
+// live in an address-keyed hash table, as in T.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gcache/workloads/Workload.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace gcache;
+
+namespace {
+
+const char *OrbitDefs = R"scheme(
+;;; orbit: a small optimizing Scheme compiler.
+
+;; ---------- environments: assq lists name -> renamed variable ----------
+
+(define (extend-env env names renames)
+  (if (null? names)
+      env
+      (extend-env (cons (cons (car names) (car renames)) env)
+                  (cdr names) (cdr renames))))
+
+(define (lookup-env env name)
+  (let ((hit (assq name env)))
+    (if hit (cdr hit) name)))
+
+;; ---------- pass 1: expansion of derived forms to the core language ----
+;; core forms: quote lambda if set! begin application
+
+(define (expand-body body)
+  (if (null? (cdr body))
+      (expand (car body))
+      (cons 'begin (map expand body))))
+
+(define (expand-let e)
+  (let ((bindings (cadr e)))
+    (cons (list 'lambda (map car bindings) (expand-body (cddr e)))
+          (map (lambda (b) (expand (cadr b))) bindings))))
+
+(define (expand-cond clauses)
+  (cond ((null? clauses) ''cond-fell-off)
+        ((eq? (caar clauses) 'else) (expand-body (cdar clauses)))
+        (else (list 'if (expand (caar clauses))
+                    (expand-body (cdar clauses))
+                    (expand-cond (cdr clauses))))))
+
+(define (expand-and args)
+  (cond ((null? args) ''#t)
+        ((null? (cdr args)) (expand (car args)))
+        (else (list 'if (expand (car args)) (expand-and (cdr args)) ''#f))))
+
+(define (expand-or args)
+  (cond ((null? args) ''#f)
+        ((null? (cdr args)) (expand (car args)))
+        (else
+         (let ((tmp '%or-tmp))
+           (list (list 'lambda (list tmp)
+                       (list 'if tmp tmp (expand-or (cdr args))))
+                 (expand (car args)))))))
+
+(define (expand e)
+  (cond ((symbol? e) e)
+        ((not (pair? e)) (list 'quote e))
+        ((eq? (car e) 'quote) e)
+        ((eq? (car e) 'lambda)
+         (list 'lambda (cadr e) (expand-body (cddr e))))
+        ((eq? (car e) 'if)
+         (if (null? (cdddr e))
+             (list 'if (expand (cadr e)) (expand (caddr e)) ''unspecific)
+             (list 'if (expand (cadr e)) (expand (caddr e))
+                   (expand (cadddr e)))))
+        ((eq? (car e) 'set!)
+         (list 'set! (cadr e) (expand (caddr e))))
+        ((eq? (car e) 'begin) (cons 'begin (map expand (cdr e))))
+        ((eq? (car e) 'let) (expand-let e))
+        ((eq? (car e) 'cond) (expand-cond (cdr e)))
+        ((eq? (car e) 'and) (expand-and (cdr e)))
+        ((eq? (car e) 'or) (expand-or (cdr e)))
+        (else (map expand e))))
+
+;; ---------- pass 2: alpha renaming -------------------------------------
+;; Local variables become fresh (name . serial) pairs; globals stay
+;; symbols. Pairs are eq-unique, so later passes compare with eq?.
+
+(define alpha-serial 0)
+(define (fresh-var name)
+  (set! alpha-serial (+ alpha-serial 1))
+  (cons name alpha-serial))
+
+(define (alpha e env)
+  (cond ((symbol? e) (lookup-env env e))
+        ((eq? (car e) 'quote) e)
+        ((eq? (car e) 'lambda)
+         (let ((renames (map fresh-var (cadr e))))
+           (list 'lambda renames
+                 (alpha (caddr e) (extend-env env (cadr e) renames)))))
+        ((eq? (car e) 'set!)
+         (list 'set! (lookup-env env (cadr e)) (alpha (caddr e) env)))
+        ((eq? (car e) 'if)
+         (list 'if (alpha (cadr e) env) (alpha (caddr e) env)
+               (alpha (cadddr e) env)))
+        ((eq? (car e) 'begin)
+         (cons 'begin (map (lambda (x) (alpha x env)) (cdr e))))
+        (else (map (lambda (x) (alpha x env)) e))))
+
+;; ---------- pass 3: free variables and closure conversion --------------
+
+(define (set-add s x) (if (memq x s) s (cons x s)))
+(define (set-union a b) (fold-left set-add a b))
+(define (set-remove* s xs) (filter (lambda (v) (not (memq v xs))) s))
+;; Renamed variables are (name . serial) pairs with a numeric serial;
+;; expressions are proper lists, so the cdr test distinguishes them.
+(define (local-var? v) (and (pair? v) (number? (cdr v))))
+
+(define (free-vars e)
+  (cond ((local-var? e) (list e))
+        ((symbol? e) '())
+        ((eq? (car e) 'quote) '())
+        ((eq? (car e) 'lambda)
+         (set-remove* (free-vars (caddr e)) (cadr e)))
+        ((eq? (car e) 'set!)
+         (set-union (free-vars (cadr e)) (free-vars (caddr e))))
+        ((eq? (car e) 'if)
+         (set-union (free-vars (cadr e))
+                    (set-union (free-vars (caddr e))
+                               (free-vars (cadddr e)))))
+        ((eq? (car e) 'begin)
+         (fold-left (lambda (acc x) (set-union acc (free-vars x)))
+                    '() (cdr e)))
+        (else
+         (fold-left (lambda (acc x) (set-union acc (free-vars x))) '() e))))
+
+(define (closure-convert e)
+  (cond ((local-var? e) e)
+        ((symbol? e) e)
+        ((eq? (car e) 'quote) e)
+        ((eq? (car e) 'lambda)
+         (list 'closure (cadr e)
+               (set-remove* (free-vars (caddr e)) (cadr e))
+               (closure-convert (caddr e))))
+        ((eq? (car e) 'set!)
+         (list 'set! (cadr e) (closure-convert (caddr e))))
+        ((eq? (car e) 'if)
+         (list 'if (closure-convert (cadr e)) (closure-convert (caddr e))
+               (closure-convert (cadddr e))))
+        ((eq? (car e) 'begin)
+         (cons 'begin (map closure-convert (cdr e))))
+        (else (map closure-convert e))))
+
+;; ---------- pass 4: code generation to a stack machine ------------------
+;; The compile-time environment maps variables to (local . n) or
+;; (free . n); globals are referenced through the global-usage table.
+
+(define global-usage (make-table 64))
+
+(define (note-global! g)
+  (table-set! global-usage g (+ 1 (table-ref global-usage g 0))))
+
+(define (var-index vars v n)
+  (cond ((null? vars) #f)
+        ((eq? (car vars) v) n)
+        (else (var-index (cdr vars) v (+ n 1)))))
+
+(define (gen-var locals frees v acc)
+  (let ((l (var-index locals v 0)))
+    (if l
+        (cons (list 'local l) acc)
+        (let ((f (var-index frees v 0)))
+          (if f
+              (cons (list 'free f) acc)
+              (begin (note-global! v) (cons (list 'global v) acc)))))))
+
+(define (codegen e locals frees acc)
+  (cond ((local-var? e) (gen-var locals frees e acc))
+        ((symbol? e) (gen-var locals frees e acc))
+        ((eq? (car e) 'quote) (cons (list 'const (cadr e)) acc))
+        ((eq? (car e) 'closure)
+         (let ((capture
+                (fold-left (lambda (a v) (gen-var locals frees v a))
+                           acc (caddr e))))
+           (cons (list 'make-closure (length (cadr e)) (length (caddr e))
+                       (reverse (codegen (cadddr e) (cadr e) (caddr e) '())))
+                 capture)))
+        ((eq? (car e) 'set!)
+         (cons (list 'set-var (cadr e))
+               (codegen (caddr e) locals frees acc)))
+        ((eq? (car e) 'if)
+         (cons (list 'branch
+                     (reverse (codegen (caddr e) locals frees '()))
+                     (reverse (codegen (cadddr e) locals frees '())))
+               (codegen (cadr e) locals frees acc)))
+        ((eq? (car e) 'begin)
+         (fold-left (lambda (a x) (cons '(pop) (codegen x locals frees a)))
+                    acc (cdr e)))
+        (else
+         (cons (list 'call (- (length e) 1))
+               (fold-left (lambda (a x) (codegen x locals frees a))
+                          acc e)))))
+
+;; ---------- pass 5: peephole -------------------------------------------
+
+(define (peephole code)
+  (cond ((null? code) '())
+        ((and (pair? (cdr code))
+              (eq? (caar code) 'const)
+              (eq? (car (cadr code)) 'pop))
+         (peephole (cddr code)))
+        ((eq? (caar code) 'branch)
+         (cons (list 'branch (peephole (cadr (car code)))
+                     (peephole (caddr (car code))))
+               (peephole (cdr code))))
+        ((eq? (caar code) 'make-closure)
+         (let ((i (car code)))
+           (cons (list 'make-closure (cadr i) (caddr i)
+                       (peephole (cadddr i)))
+                 (peephole (cdr code)))))
+        (else (cons (car code) (peephole (cdr code))))))
+
+;; ---------- driver -------------------------------------------------------
+
+(define (code-size code)
+  (fold-left (lambda (n i)
+               (cond ((eq? (car i) 'branch)
+                      (+ n 1 (code-size (cadr i)) (code-size (caddr i))))
+                     ((eq? (car i) 'make-closure)
+                      (+ n 1 (code-size (cadddr i))))
+                     (else (+ n 1))))
+             0 code))
+
+(define (compile-expression e)
+  (peephole
+   (reverse
+    (codegen (closure-convert (alpha (expand e) '())) '() '() '()))))
+
+(define (compile-definition def)
+  ;; (define (f . args) body...) -> compile the equivalent lambda
+  (if (and (pair? def) (eq? (car def) 'define) (pair? (cadr def)))
+      (compile-expression
+       (cons 'lambda (cons (cdr (cadr def)) (cddr def))))
+      (compile-expression (caddr def))))
+
+(define (orbit-compile-program prog)
+  (fold-left (lambda (n def) (+ n (code-size (compile-definition def))))
+             0 prog))
+
+(define (orbit-main reps)
+  (let loop ((i 0) (check 0))
+    (if (= i reps)
+        (begin
+          (display "orbit checksum ")
+          (display check)
+          (display " globals ")
+          (display (table-count global-usage))
+          (newline)
+          check)
+        (loop (+ i 1)
+              (+ check (orbit-compile-program orbit-input))))))
+)scheme";
+
+/// The input program orbit compiles: a quoted copy of its own front end
+/// (expansion + renaming + free-variable analysis), i.e. "compiling
+/// itself".
+const char *OrbitInput = R"scheme(
+(define orbit-input
+  '((define (extend-env env names renames)
+      (if (null? names)
+          env
+          (extend-env (cons (cons (car names) (car renames)) env)
+                      (cdr names) (cdr renames))))
+    (define (lookup-env env name)
+      (let ((hit (assq name env)))
+        (if hit (cdr hit) name)))
+    (define (expand-body body)
+      (if (null? (cdr body))
+          (expand (car body))
+          (cons 'begin (map expand body))))
+    (define (expand-let e)
+      (let ((bindings (cadr e)))
+        (cons (list 'lambda (map car bindings) (expand-body (cddr e)))
+              (map (lambda (b) (expand (cadr b))) bindings))))
+    (define (expand-cond clauses)
+      (cond ((null? clauses) ''cond-fell-off)
+            ((eq? (caar clauses) 'else) (expand-body (cdar clauses)))
+            (else (list 'if (expand (caar clauses))
+                        (expand-body (cdar clauses))
+                        (expand-cond (cdr clauses))))))
+    (define (expand-and args)
+      (cond ((null? args) ''#t)
+            ((null? (cdr args)) (expand (car args)))
+            (else (list 'if (expand (car args))
+                        (expand-and (cdr args)) ''#f))))
+    (define (expand e)
+      (cond ((symbol? e) e)
+            ((not (pair? e)) (list 'quote e))
+            ((eq? (car e) 'quote) e)
+            ((eq? (car e) 'lambda)
+             (list 'lambda (cadr e) (expand-body (cddr e))))
+            ((eq? (car e) 'if)
+             (list 'if (expand (cadr e)) (expand (caddr e))
+                   (expand (cadddr e))))
+            ((eq? (car e) 'set!)
+             (list 'set! (cadr e) (expand (caddr e))))
+            ((eq? (car e) 'begin) (cons 'begin (map expand (cdr e))))
+            ((eq? (car e) 'let) (expand-let e))
+            ((eq? (car e) 'cond) (expand-cond (cdr e)))
+            ((eq? (car e) 'and) (expand-and (cdr e)))
+            (else (map expand e))))
+    (define (fresh-var name)
+      (set! alpha-serial (+ alpha-serial 1))
+      (cons name alpha-serial))
+    (define (alpha e env)
+      (cond ((symbol? e) (lookup-env env e))
+            ((eq? (car e) 'quote) e)
+            ((eq? (car e) 'lambda)
+             (let ((renames (map fresh-var (cadr e))))
+               (list 'lambda renames
+                     (alpha (caddr e)
+                            (extend-env env (cadr e) renames)))))
+            ((eq? (car e) 'set!)
+             (list 'set! (lookup-env env (cadr e)) (alpha (caddr e) env)))
+            ((eq? (car e) 'if)
+             (list 'if (alpha (cadr e) env) (alpha (caddr e) env)
+                   (alpha (cadddr e) env)))
+            ((eq? (car e) 'begin)
+             (cons 'begin (map (lambda (x) (alpha x env)) (cdr e))))
+            (else (map (lambda (x) (alpha x env)) e))))
+    (define (set-add s x) (if (memq x s) s (cons x s)))
+    (define (set-union a b) (fold-left set-add a b))
+    (define (set-remove* s xs)
+      (filter (lambda (v) (not (memq v xs))) s))
+    (define (free-vars e)
+      (cond ((pair? e)
+             (cond ((eq? (car e) 'quote) '())
+                   ((eq? (car e) 'lambda)
+                    (set-remove* (free-vars (caddr e)) (cadr e)))
+                   ((eq? (car e) 'if)
+                    (set-union (free-vars (cadr e))
+                               (set-union (free-vars (caddr e))
+                                          (free-vars (cadddr e)))))
+                   (else (fold-left (lambda (acc x)
+                                      (set-union acc (free-vars x)))
+                                    '() e))))
+            ((symbol? e) (list e))
+            (else '())))
+    (define (closure-convert e)
+      (cond ((local-var? e) e)
+            ((symbol? e) e)
+            ((eq? (car e) 'quote) e)
+            ((eq? (car e) 'lambda)
+             (list 'closure (cadr e)
+                   (set-remove* (free-vars (caddr e)) (cadr e))
+                   (closure-convert (caddr e))))
+            ((eq? (car e) 'set!)
+             (list 'set! (cadr e) (closure-convert (caddr e))))
+            ((eq? (car e) 'if)
+             (list 'if (closure-convert (cadr e))
+                   (closure-convert (caddr e))
+                   (closure-convert (cadddr e))))
+            ((eq? (car e) 'begin)
+             (cons 'begin (map closure-convert (cdr e))))
+            (else (map closure-convert e))))
+    (define (var-index vars v n)
+      (cond ((null? vars) #f)
+            ((eq? (car vars) v) n)
+            (else (var-index (cdr vars) v (+ n 1)))))
+    (define (gen-var locals frees v acc)
+      (let ((l (var-index locals v 0)))
+        (if l
+            (cons (list 'local l) acc)
+            (let ((f (var-index frees v 0)))
+              (if f
+                  (cons (list 'free f) acc)
+                  (begin (note-global! v)
+                         (cons (list 'global v) acc)))))))
+    (define (codegen e locals frees acc)
+      (cond ((local-var? e) (gen-var locals frees e acc))
+            ((symbol? e) (gen-var locals frees e acc))
+            ((eq? (car e) 'quote) (cons (list 'const (cadr e)) acc))
+            ((eq? (car e) 'closure)
+             (let ((capture
+                    (fold-left (lambda (a v) (gen-var locals frees v a))
+                               acc (caddr e))))
+               (cons (list 'make-closure (length (cadr e))
+                           (length (caddr e))
+                           (reverse (codegen (cadddr e) (cadr e)
+                                             (caddr e) '())))
+                     capture)))
+            ((eq? (car e) 'set!)
+             (cons (list 'set-var (cadr e))
+                   (codegen (caddr e) locals frees acc)))
+            ((eq? (car e) 'if)
+             (cons (list 'branch
+                         (reverse (codegen (caddr e) locals frees '()))
+                         (reverse (codegen (cadddr e) locals frees '())))
+                   (codegen (cadr e) locals frees acc)))
+            ((eq? (car e) 'begin)
+             (fold-left (lambda (a x)
+                          (cons '(pop) (codegen x locals frees a)))
+                        acc (cdr e)))
+            (else
+             (cons (list 'call (- (length e) 1))
+                   (fold-left (lambda (a x) (codegen x locals frees a))
+                              acc e)))))
+    (define (peephole code)
+      (cond ((null? code) '())
+            ((and (pair? (cdr code))
+                  (eq? (caar code) 'const)
+                  (eq? (car (cadr code)) 'pop))
+             (peephole (cddr code)))
+            ((eq? (caar code) 'branch)
+             (cons (list 'branch (peephole (cadr (car code)))
+                         (peephole (caddr (car code))))
+                   (peephole (cdr code))))
+            ((eq? (caar code) 'make-closure)
+             (let ((i (car code)))
+               (cons (list 'make-closure (cadr i) (caddr i)
+                           (peephole (cadddr i)))
+                     (peephole (cdr code)))))
+            (else (cons (car code) (peephole (cdr code))))))
+    (define (code-size code)
+      (fold-left (lambda (n i)
+                   (cond ((eq? (car i) 'branch)
+                          (+ n 1 (code-size (cadr i))
+                             (code-size (caddr i))))
+                         ((eq? (car i) 'make-closure)
+                          (+ n 1 (code-size (cadddr i))))
+                         (else (+ n 1))))
+                 0 code))
+    (define (compile-expression e)
+      (peephole
+       (reverse
+        (codegen (closure-convert (alpha (expand e) '())) '() '() '()))))))
+)scheme";
+
+std::string orbitRun(double Scale) {
+  int Reps = std::max(1, static_cast<int>(Scale * 80 + 0.5));
+  char Buf[64];
+  snprintf(Buf, sizeof(Buf), "(orbit-main %d)", Reps);
+  return Buf;
+}
+
+} // namespace
+
+const Workload &gcache::orbitWorkload() {
+  static std::string Defs = std::string(OrbitInput) + OrbitDefs;
+  static Workload W = {
+      "orbit",
+      "multi-pass compiler compiling itself; tables + short-lived lists",
+      Defs.c_str(), orbitRun};
+  return W;
+}

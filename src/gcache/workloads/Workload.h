@@ -1,0 +1,75 @@
+//===- Workload.h - The five test programs ----------------------*- C++ -*-===//
+//
+// Part of the gcache project (Reinhold, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's five test programs (§3), recreated as Scheme programs in
+/// the same styles:
+///
+///   orbit   a Scheme compiler compiling (a quoted copy of) itself:
+///           multi-pass (expand, alpha-rename, closure-convert, code
+///           generation, peephole), symbol tables as address-keyed hash
+///           tables;
+///   imps    a theorem prover: Boyer-style rewrite rules + tautology
+///           checking, running consistency checks and proving a simple
+///           combinatorial identity;
+///   lp      a reduction engine for a typed λ-calculus: typechecks a
+///           complex term, then applies many β-reduction steps to a
+///           non-normalizing, growing term while retaining the whole
+///           reduction history — the monotonically growing live structure
+///           behind lp's §6 pathology;
+///   nbody   a linear-time 3-D N-body step in the style of Zhao's
+///           algorithm: 256 point masses in a cube, cell decomposition
+///           with centroid approximation, boxed-flonum arithmetic;
+///   gambit  a second, very different compiler: a CPS transformer with
+///           constant folding and administrative-redex inlining, purely
+///           functional, keeping every compiled module alive.
+///
+/// Each workload provides load-time definitions (the program, which lands
+/// in the static area like T's compiled code) and a measured run
+/// expression parameterized by a scale factor. At scale 1.0 a workload
+/// makes roughly 5-40 M data references; the paper's runs are ~100-600x
+/// longer (0.6-2.0 G references) and can be approximated with --scale.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCACHE_WORKLOADS_WORKLOAD_H
+#define GCACHE_WORKLOADS_WORKLOAD_H
+
+#include <string>
+#include <vector>
+
+namespace gcache {
+
+/// One test program.
+struct Workload {
+  std::string Name;
+  std::string Style; ///< One-line description of the programming style.
+  /// Scheme source of the program (loaded untraced, load mode).
+  const char *Definitions;
+  /// Builds the measured run expression for a scale factor (> 0).
+  std::string (*RunExpr)(double Scale);
+};
+
+/// All five programs, in the paper's order.
+const std::vector<Workload> &allWorkloads();
+
+/// Finds a workload by name; nullptr if unknown.
+const Workload *findWorkload(const std::string &Name);
+
+/// Number of source lines in a definitions string (the paper's "Lines"
+/// column).
+uint32_t sourceLineCount(const char *Source);
+
+// Individual accessors (used by focused benches/tests).
+const Workload &orbitWorkload();
+const Workload &impsWorkload();
+const Workload &lpWorkload();
+const Workload &nbodyWorkload();
+const Workload &gambitWorkload();
+
+} // namespace gcache
+
+#endif // GCACHE_WORKLOADS_WORKLOAD_H

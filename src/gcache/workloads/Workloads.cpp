@@ -1,0 +1,36 @@
+//===- Workloads.cpp - Registry of the five test programs -------------------===//
+
+#include "gcache/workloads/Workload.h"
+
+using namespace gcache;
+
+const std::vector<Workload> &gcache::allWorkloads() {
+  static std::vector<Workload> All = {orbitWorkload(), impsWorkload(),
+                                      lpWorkload(), nbodyWorkload(),
+                                      gambitWorkload()};
+  return All;
+}
+
+const Workload *gcache::findWorkload(const std::string &Name) {
+  for (const Workload &W : allWorkloads())
+    if (W.Name == Name)
+      return &W;
+  return nullptr;
+}
+
+uint32_t gcache::sourceLineCount(const char *Source) {
+  uint32_t Lines = 0;
+  bool NonBlank = false;
+  for (const char *P = Source; *P; ++P) {
+    if (*P == '\n') {
+      if (NonBlank)
+        ++Lines;
+      NonBlank = false;
+    } else if (*P != ' ' && *P != '\t') {
+      NonBlank = true;
+    }
+  }
+  if (NonBlank)
+    ++Lines;
+  return Lines;
+}

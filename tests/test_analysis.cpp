@@ -1,0 +1,227 @@
+//===- test_analysis.cpp - §7 analysis machinery unit tests --------------------===//
+
+#include "gcache/analysis/BlockTracker.h"
+#include "gcache/analysis/LocalMissStats.h"
+#include "gcache/analysis/MissPlot.h"
+#include "gcache/support/Random.h"
+
+#include <gtest/gtest.h>
+
+using namespace gcache;
+
+namespace {
+Ref load(Address A) { return {A, AccessKind::Load, Phase::Mutator}; }
+Ref store(Address A) { return {A, AccessKind::Store, Phase::Mutator}; }
+constexpr Address Dyn = Heap::DynamicBase;
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// BlockTracker
+//===----------------------------------------------------------------------===//
+
+TEST(BlockTracker, TracksLifetimeAndRefCount) {
+  BlockTracker T(64, 64 << 10);
+  T.onAlloc(Dyn, 64);
+  T.onRef(store(Dyn));      // t=1, first ref
+  T.onRef(load(Dyn + 8));   // t=2
+  T.onRef(load(Dyn + 60));  // t=3, last ref
+  const BlockRecord &R = T.dynamicRecord(0);
+  EXPECT_EQ(R.RefCount, 3u);
+  EXPECT_EQ(R.FirstRef, 1u);
+  EXPECT_EQ(R.LastRef, 3u);
+}
+
+TEST(BlockTracker, AllocSpanningBlocks) {
+  BlockTracker T(64, 64 << 10);
+  T.onAlloc(Dyn, 200); // 200 bytes -> blocks 0..3
+  EXPECT_EQ(T.numDynamicRecords(), 4u);
+}
+
+TEST(BlockTracker, OneCycleClassification) {
+  // Cache of 4 blocks (256 B / 64 B) for tiny cycles.
+  BlockTracker T(64, 256);
+  // Allocate 8 blocks: blocks 0-3 are cycle 1, blocks 4-7 cycle 2 of the
+  // same four cache slots.
+  T.onAlloc(Dyn, 8 * 64);
+  T.onRef(store(Dyn));            // block 0, during its own cycle? No:
+  // the frontier is already at block 8, so slot 0 is in cycle 2 and
+  // block 0 (born in cycle 1) is being referenced in a later cycle.
+  BlockSummary S = T.computeSummary();
+  EXPECT_EQ(S.DynamicBlocks, 1u);
+  EXPECT_EQ(S.OneCycleBlocks, 0u);
+  EXPECT_EQ(S.MultiCycleBlocks, 1u);
+}
+
+TEST(BlockTracker, OneCycleWhenTouchedBeforeSweepReturns) {
+  BlockTracker T(64, 256);
+  T.onAlloc(Dyn, 64); // block 0, cycle 1
+  T.onRef(store(Dyn));
+  T.onAlloc(Dyn + 64, 64); // block 1 — slot 0 still in cycle 1
+  T.onRef(load(Dyn));
+  BlockSummary S = T.computeSummary();
+  EXPECT_EQ(S.OneCycleBlocks, 1u);
+}
+
+TEST(BlockTracker, CyclesActiveCounting) {
+  BlockTracker T(64, 256);
+  T.onAlloc(Dyn, 64);
+  T.onRef(store(Dyn)); // cycle 1
+  T.onAlloc(Dyn + 64, 7 * 64); // advance frontier: slot 0 now cycle 2
+  T.onRef(load(Dyn)); // cycle 2
+  T.onAlloc(Dyn + 8 * 64, 4 * 64); // slot 0 now cycle 3
+  T.onRef(load(Dyn)); // cycle 3
+  T.onRef(load(Dyn)); // still cycle 3 (no double count)
+  EXPECT_EQ(T.dynamicRecord(0).CyclesActive, 3u);
+}
+
+TEST(BlockTracker, StaticBlocksAndBusy) {
+  BlockTracker T(64, 64 << 10);
+  // 2000 refs to one static block => busy (>= 1/1000 of refs).
+  for (int I = 0; I != 2000; ++I)
+    T.onRef(load(Heap::StaticBase));
+  // A handful to another.
+  T.onRef(load(Heap::StaticBase + 4096));
+  BlockSummary S = T.computeSummary();
+  EXPECT_EQ(S.StaticBlocks, 2u);
+  EXPECT_EQ(S.BusyStaticBlocks, 1u);
+  EXPECT_GT(S.busyRefsFraction(), 0.99);
+}
+
+TEST(BlockTracker, StackRefsCounted) {
+  BlockTracker T(64, 64 << 10);
+  T.onRef(store(Heap::StackBase));
+  T.onRef(store(Heap::StackBase + 4));
+  T.onRef(load(Heap::StaticBase));
+  BlockSummary S = T.computeSummary();
+  EXPECT_EQ(S.StackRefs, 2u);
+}
+
+TEST(BlockTracker, RuntimeVectorAttribution) {
+  BlockTracker T(64, 64 << 10, Heap::StaticBase);
+  for (int I = 0; I != 100; ++I)
+    T.onRef(load(Heap::StaticBase + 4));
+  BlockSummary S = T.computeSummary();
+  EXPECT_EQ(S.RuntimeVectorRefs, 100u);
+}
+
+TEST(BlockTracker, LifetimeHistogramMatches) {
+  BlockTracker T(64, 64 << 10);
+  T.onAlloc(Dyn, 128);
+  T.onRef(store(Dyn));       // block 0: t=1..1, lifetime 0
+  T.onRef(store(Dyn + 64));  // block 1: t=2..
+  for (int I = 0; I != 100; ++I)
+    T.onRef(load(Dyn + 64)); // ...t=102, lifetime 100
+  (void)T.computeSummary();
+  EXPECT_EQ(T.lifetimeHistogram().total(), 2u);
+  EXPECT_DOUBLE_EQ(T.lifetimeHistogram().cumulativeFractionAt(1), 0.5);
+}
+
+TEST(BlockTracker, AllocationCycleLengths) {
+  BlockTracker T(64, 256); // 4 cache slots
+  T.onAlloc(Dyn, 4 * 64); // blocks 0-3 at t=0: no previous cycles
+  for (int I = 0; I != 100; ++I)
+    T.onRef(load(Dyn));
+  T.onAlloc(Dyn + 4 * 64, 4 * 64); // blocks 4-7: cycle length 100 each
+  EXPECT_EQ(T.cycleLengths().total(), 4u);
+  EXPECT_DOUBLE_EQ(T.cycleLengths().cumulativeFractionAt(127), 1.0);
+  EXPECT_DOUBLE_EQ(T.cycleLengths().cumulativeFractionAt(63), 0.0);
+}
+
+//===----------------------------------------------------------------------===//
+// MissPlot
+//===----------------------------------------------------------------------===//
+
+TEST(MissPlot, RecordsMissesPerColumn) {
+  CacheConfig Config{.SizeBytes = 1024, .BlockBytes = 64};
+  MissPlot P(Config, /*RefsPerColumn=*/4);
+  constexpr Address Base = 0x20000000; // cache-aligned
+  P.onRef(load(Base));        // miss, column 0
+  P.onRef(load(Base));        // hit
+  P.onRef(load(Base));        // hit
+  P.onRef(load(Base));        // hit
+  P.onRef(load(Base + 1024)); // miss (conflict), column 1
+  EXPECT_TRUE(P.missedAt(0, 0));
+  EXPECT_TRUE(P.missedAt(1, 0));
+  EXPECT_FALSE(P.missedAt(0, 1));
+  EXPECT_EQ(P.columns(), 2u);
+}
+
+TEST(MissPlot, AllocationSweepMakesDiagonal) {
+  CacheConfig Config{.SizeBytes = 1024, .BlockBytes = 64};
+  MissPlot P(Config, /*RefsPerColumn=*/16);
+  constexpr Address Base = 0x20000000; // cache-aligned
+  // Write linearly through 2x the cache: every block is an allocation
+  // miss, and each 16-ref column covers one 64-byte block.
+  for (Address A = Base; A != Base + 2048; A += 4)
+    P.onRef(store(A));
+  // Diagonal: column C has its miss at cache block C mod 16.
+  for (uint64_t C = 0; C != P.columns(); ++C)
+    EXPECT_TRUE(P.missedAt(C, static_cast<uint32_t>(C % 16))) << C;
+  EXPECT_NEAR(P.fillFraction(), 1.0 / 16, 0.01);
+}
+
+TEST(MissPlot, AsciiAndPgmWellFormed) {
+  CacheConfig Config{.SizeBytes = 1024, .BlockBytes = 64};
+  MissPlot P(Config, 4);
+  for (Address A = Dyn; A != Dyn + 512; A += 4)
+    P.onRef(store(A));
+  std::string Ascii = P.renderAscii(8, 8);
+  EXPECT_FALSE(Ascii.empty());
+  EXPECT_NE(Ascii.find('*'), std::string::npos);
+  std::string Pgm = P.renderPgm();
+  EXPECT_EQ(Pgm.substr(0, 2), "P5");
+}
+
+//===----------------------------------------------------------------------===//
+// LocalMissStats
+//===----------------------------------------------------------------------===//
+
+TEST(LocalMissStats, CurvesAreMonotoneAndEndAtGlobal) {
+  CacheConfig Config{.SizeBytes = 4096, .BlockBytes = 64};
+  Config.TrackPerBlockStats = true;
+  Cache Sim(Config);
+  Rng R(5);
+  for (int I = 0; I != 50000; ++I) {
+    Address A = Dyn + (static_cast<Address>(R.below(1 << 16)) & ~3u);
+    (void)Sim.access({A, R.below(2) ? AccessKind::Load : AccessKind::Store,
+                      Phase::Mutator});
+  }
+  LocalMissCurves C = computeLocalMissCurves(Sim);
+  ASSERT_EQ(C.Points.size(), Config.numSets());
+  double PrevRefFrac = 0;
+  uint64_t PrevRefs = 0;
+  for (const LocalBlockPoint &P : C.Points) {
+    EXPECT_GE(P.Refs, PrevRefs) << "sorted by reference count";
+    EXPECT_GE(P.CumRefFraction, PrevRefFrac);
+    PrevRefs = P.Refs;
+    PrevRefFrac = P.CumRefFraction;
+  }
+  EXPECT_NEAR(C.Points.back().CumRefFraction, 1.0, 1e-12);
+  EXPECT_NEAR(C.Points.back().CumMissFraction, 1.0, 1e-12);
+  EXPECT_NEAR(C.Points.back().CumMissRatio, C.GlobalMissRatio, 1e-12);
+  uint64_t Mut = Sim.counters(Phase::Mutator).FetchMisses;
+  EXPECT_NEAR(C.GlobalMissRatio,
+              static_cast<double>(Mut) / Sim.totalCounters().refs(), 1e-9);
+}
+
+TEST(LocalMissStats, ExcludesAllocationMisses) {
+  CacheConfig Config{.SizeBytes = 1024, .BlockBytes = 64};
+  Config.TrackPerBlockStats = true;
+  Cache Sim(Config);
+  // Pure allocation sweep: only no-fetch write misses.
+  for (Address A = Dyn; A != Dyn + 4096; A += 4)
+    (void)Sim.access(store(A));
+  LocalMissCurves C = computeLocalMissCurves(Sim);
+  EXPECT_EQ(C.GlobalMissRatio, 0.0)
+      << "write-validate allocation misses are excluded (paper §7)";
+}
+
+TEST(LocalMissStats, RenderedTableContainsEndpoint) {
+  CacheConfig Config{.SizeBytes = 1024, .BlockBytes = 64};
+  Config.TrackPerBlockStats = true;
+  Cache Sim(Config);
+  for (int I = 0; I != 100; ++I)
+    (void)Sim.access(load(Dyn + (I % 32) * 64));
+  std::string S = renderLocalMissTable(computeLocalMissCurves(Sim), 4);
+  EXPECT_NE(S.find("global miss ratio"), std::string::npos);
+}

@@ -1,0 +1,213 @@
+//===- test_marksweep.cpp - Mark-sweep collector tests -------------------------===//
+
+#include "gcache/gc/MarkSweepCollector.h"
+#include "gcache/support/Random.h"
+#include "gcache/trace/Sinks.h"
+#include "gcache/vm/SchemeSystem.h"
+#include "gcache/workloads/Workload.h"
+
+#include <gtest/gtest.h>
+
+using namespace gcache;
+
+namespace {
+Value buildList(Heap &H, Allocator &A, int N) {
+  Value L = Value::nil();
+  for (int I = N - 1; I >= 0; --I)
+    L = makePair(H, A, Value::fixnum(I), L);
+  return L;
+}
+bool checkList(Heap &H, Value L, int N) {
+  for (int I = 0; I != N; ++I) {
+    if (!isPair(H, L) || carOf(H, L).asFixnum() != I)
+      return false;
+    L = cdrOf(H, L);
+  }
+  return L.isNil();
+}
+} // namespace
+
+TEST(MarkSweep, AllocatesFromInitialChunk) {
+  Heap H;
+  SimpleMutatorContext M;
+  MarkSweepCollector GC(H, M, 64 * 1024);
+  Address A = GC.allocate(3);
+  Address B = GC.allocate(3);
+  EXPECT_NE(A, B);
+  EXPECT_GE(A, GC.heapBase());
+  EXPECT_LT(B, GC.heapEnd());
+}
+
+TEST(MarkSweep, ObjectsDoNotMove) {
+  Heap H;
+  SimpleMutatorContext M;
+  MarkSweepCollector GC(H, M, 64 * 1024);
+  Value L = buildList(H, GC, 50);
+  M.HostRoots.push_back(&L);
+  Address Before = L.asPointer();
+  GC.collect();
+  EXPECT_EQ(L.asPointer(), Before) << "mark-sweep never moves objects";
+  EXPECT_TRUE(checkList(H, L, 50));
+}
+
+TEST(MarkSweep, ReclaimsGarbage) {
+  Heap H;
+  SimpleMutatorContext M;
+  MarkSweepCollector GC(H, M, 64 * 1024);
+  Value Keep = buildList(H, GC, 10);
+  M.HostRoots.push_back(&Keep);
+  (void)buildList(H, GC, 500);
+  uint64_t FreeBefore = GC.freeWords();
+  GC.collect();
+  EXPECT_GT(GC.freeWords(), FreeBefore);
+  EXPECT_GE(GC.objectsFreed(), 500u);
+  EXPECT_TRUE(checkList(H, Keep, 10));
+}
+
+TEST(MarkSweep, ReusesFreedSpace) {
+  Heap H;
+  SimpleMutatorContext M;
+  MarkSweepCollector GC(H, M, 16 * 1024);
+  // Churn far more than the heap size; collections must keep it going.
+  Value Keep = buildList(H, GC, 20);
+  M.HostRoots.push_back(&Keep);
+  for (int Round = 0; Round != 50; ++Round)
+    (void)buildList(H, GC, 200);
+  EXPECT_GT(GC.stats().Collections, 2u);
+  EXPECT_TRUE(checkList(H, Keep, 20));
+}
+
+TEST(MarkSweep, SurvivesCyclesAndSharing) {
+  Heap H;
+  SimpleMutatorContext M;
+  MarkSweepCollector GC(H, M, 64 * 1024);
+  Value A = makePair(H, GC, Value::fixnum(1), Value::nil());
+  Value B = makePair(H, GC, A, A);
+  M.HostRoots.push_back(&B);
+  setCdr(H, A, B); // cycle through both
+  GC.collect();
+  EXPECT_EQ(carOf(H, B).Bits, cdrOf(H, B).Bits);
+  EXPECT_EQ(cdrOf(H, carOf(H, B)).Bits, B.Bits);
+}
+
+TEST(MarkSweep, StackAndStaticAreRoots) {
+  Heap H;
+  SimpleMutatorContext M;
+  MarkSweepCollector GC(H, M, 64 * 1024);
+  Value OnStack = buildList(H, GC, 5);
+  H.storeValue(H.stackSlotAddr(0), OnStack);
+  M.StackWords = 1;
+  Address Cell = H.allocStatic(2);
+  H.poke(Cell, makeHeader(ObjectTag::Cell, 1));
+  Value FromStatic = buildList(H, GC, 7);
+  H.poke(Cell + 4, FromStatic.Bits);
+  GC.collect();
+  EXPECT_TRUE(checkList(H, Value{H.peek(H.stackSlotAddr(0))}, 5));
+  EXPECT_TRUE(checkList(H, Value{H.peek(Cell + 4)}, 7));
+}
+
+TEST(MarkSweep, OneWordObjectsAndSliversStayWalkable) {
+  Heap H;
+  SimpleMutatorContext M;
+  MarkSweepCollector GC(H, M, 16 * 1024);
+  // Alternate 1-word (empty vector) and pair allocations, then drop the
+  // vectors: sweeping must navigate pads and 1-word holes.
+  std::vector<Value> Pairs(50);
+  for (auto &P : Pairs)
+    M.HostRoots.push_back(&P);
+  for (int I = 0; I != 50; ++I) {
+    (void)makeVector(H, GC, 0, Value::nil()); // 1-word garbage
+    Pairs[static_cast<size_t>(I)] =
+        makePair(H, GC, Value::fixnum(I), Value::nil());
+  }
+  GC.collect();
+  GC.collect();
+  for (int I = 0; I != 50; ++I)
+    EXPECT_EQ(carOf(H, Pairs[static_cast<size_t>(I)]).asFixnum(), I);
+}
+
+TEST(MarkSweep, EpochStableNoRehash) {
+  Heap H;
+  SimpleMutatorContext M;
+  MarkSweepCollector GC(H, M, 64 * 1024);
+  EXPECT_EQ(GC.epoch(), 0u);
+  GC.collect();
+  EXPECT_EQ(GC.epoch(), 0u) << "non-moving: address hashes stay valid";
+}
+
+TEST(MarkSweep, AllocSearchCostAccrues) {
+  Heap H;
+  SimpleMutatorContext M;
+  MarkSweepCollector GC(H, M, 16 * 1024);
+  for (int I = 0; I != 200; ++I)
+    (void)GC.allocate(3);
+  EXPECT_GT(GC.allocSearchCost(), 0u);
+}
+
+TEST(MarkSweep, CollectorRefsPhaseTagged) {
+  CountingSink Counts;
+  TraceBus Bus;
+  Bus.addSink(&Counts);
+  Heap H(&Bus);
+  SimpleMutatorContext M;
+  MarkSweepCollector GC(H, M, 64 * 1024);
+  Value L = buildList(H, GC, 30);
+  M.HostRoots.push_back(&L);
+  GC.collect();
+  EXPECT_GT(Counts.loads(Phase::Collector), 0u) << "mark + sweep traffic";
+}
+
+TEST(MarkSweep, RandomChurnAgainstShadow) {
+  Rng R(17);
+  Heap H;
+  SimpleMutatorContext M;
+  MarkSweepCollector GC(H, M, 64 * 1024);
+  constexpr int N = 100;
+  std::vector<Value> Nodes(N);
+  std::vector<int32_t> Shadow(N);
+  for (int I = 0; I != N; ++I) {
+    Shadow[I] = static_cast<int32_t>(R.below(1000));
+    Nodes[I] = makePair(H, GC, Value::fixnum(Shadow[I]), Value::nil());
+    M.HostRoots.push_back(&Nodes[I]);
+  }
+  for (int Step = 0; Step != 3000; ++Step) {
+    int I = static_cast<int>(R.below(N));
+    switch (R.below(3)) {
+    case 0: { // replace a node (old one becomes garbage)
+      Shadow[I] = static_cast<int32_t>(R.below(1000));
+      Nodes[I] = makePair(H, GC, Value::fixnum(Shadow[I]), Value::nil());
+      break;
+    }
+    case 1: // mutate in place
+      Shadow[I] = static_cast<int32_t>(R.below(1000));
+      setCar(H, Nodes[I], Value::fixnum(Shadow[I]));
+      break;
+    case 2: // garbage pressure
+      (void)buildList(H, GC, static_cast<int>(R.below(40)) + 1);
+      break;
+    }
+  }
+  GC.collect();
+  for (int I = 0; I != N; ++I)
+    EXPECT_EQ(carOf(H, Nodes[I]).asFixnum(), Shadow[I]) << I;
+}
+
+TEST(MarkSweep, WorkloadsRunCorrectly) {
+  // The five programs must produce identical output under mark-sweep.
+  for (const char *Name : {"orbit", "lp"}) {
+    const Workload *W = findWorkload(Name);
+    ASSERT_NE(W, nullptr);
+    std::string Outputs[2];
+    int Idx = 0;
+    for (GcKind K : {GcKind::None, GcKind::MarkSweep}) {
+      SchemeSystemConfig C;
+      C.Gc = K;
+      C.SemispaceBytes = 1u << 20; // mark-sweep heap = 2 MB
+      SchemeSystem S(C);
+      S.loadDefinitions(W->Definitions);
+      S.run(W->RunExpr(0.05));
+      Outputs[Idx++] = S.vm().output();
+    }
+    EXPECT_EQ(Outputs[0], Outputs[1]) << Name;
+  }
+}

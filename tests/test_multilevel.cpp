@@ -1,0 +1,107 @@
+//===- test_multilevel.cpp - Two-level cache hierarchy tests -------------------===//
+
+#include "gcache/memsys/MultiLevelCache.h"
+#include "gcache/support/Random.h"
+
+#include <gtest/gtest.h>
+
+using namespace gcache;
+
+namespace {
+Ref load(Address A) { return {A, AccessKind::Load, Phase::Mutator}; }
+Ref store(Address A) { return {A, AccessKind::Store, Phase::Mutator}; }
+
+MultiLevelCache makeHierarchy(uint32_t L1Bytes = 1024,
+                              uint32_t L2Bytes = 8192) {
+  CacheConfig L1{.SizeBytes = L1Bytes, .BlockBytes = 64};
+  CacheConfig L2{.SizeBytes = L2Bytes, .BlockBytes = 64};
+  return MultiLevelCache(L1, L2);
+}
+} // namespace
+
+TEST(MultiLevel, ColdMissGoesToMemory) {
+  MultiLevelCache H = makeHierarchy();
+  EXPECT_EQ(H.access(load(0x10000)), 2);
+  EXPECT_EQ(H.memoryFetches(), 1u);
+  EXPECT_EQ(H.l1FillsFromL2(), 1u);
+}
+
+TEST(MultiLevel, L1HitTouchesNothing) {
+  MultiLevelCache H = makeHierarchy();
+  (void)H.access(load(0x10000));
+  EXPECT_EQ(H.access(load(0x10000)), 0);
+  EXPECT_EQ(H.memoryFetches(), 1u);
+  EXPECT_EQ(H.l2().totalCounters().refs(), 1u);
+}
+
+TEST(MultiLevel, L1ConflictFilledFromL2) {
+  MultiLevelCache H = makeHierarchy(1024, 8192);
+  (void)H.access(load(0x10000)); // memory
+  (void)H.access(load(0x10400)); // conflicts in 1 KB L1, not in 8 KB L2
+  EXPECT_EQ(H.access(load(0x10000)), 1) << "L1 miss, L2 hit";
+  EXPECT_EQ(H.memoryFetches(), 2u);
+}
+
+TEST(MultiLevel, WriteValidateAllocationsSkipL2) {
+  MultiLevelCache H = makeHierarchy();
+  for (Address A = 0x20000; A != 0x21000; A += 4)
+    (void)H.access(store(A));
+  EXPECT_EQ(H.memoryFetches(), 0u);
+  EXPECT_EQ(H.l2().totalCounters().refs(), 0u)
+      << "no-fetch write misses never probe L2";
+}
+
+TEST(MultiLevel, OverheadCombinesBothPenalties) {
+  MultiLevelCache H = makeHierarchy();
+  (void)H.access(load(0x10000)); // 1 fill + 1 memory fetch
+  (void)H.access(load(0x10400));
+  (void)H.access(load(0x10000)); // fill from L2
+  MemoryTiming Mem;
+  ProcessorModel Fast = ProcessorModel::fast();
+  L2Timing L2T;
+  double Ov = H.overhead(Mem, Fast, L2T, /*Instructions=*/1000);
+  uint64_t PL2 = L2T.l2HitCycles(Fast.CycleNs, 64);
+  uint64_t PMem = Fast.missPenaltyCycles(Mem, 64);
+  EXPECT_NEAR(Ov, (3.0 * PL2 + 2.0 * PMem) / 1000.0, 1e-12);
+}
+
+TEST(MultiLevel, L2HitCyclesReasonable) {
+  L2Timing T;
+  // Fast processor (2 ns): 24 ns access + 4 cycles transfer = 16 cycles.
+  EXPECT_EQ(T.l2HitCycles(2, 64), 16u);
+  // Slow processor (30 ns): ceil((24 + 4*30)/30) = 5 cycles.
+  EXPECT_EQ(T.l2HitCycles(30, 64), 5u);
+}
+
+TEST(MultiLevel, HierarchyTracksBigSingleLevel) {
+  // Random working set bigger than L1 but inside L2: the hierarchy's
+  // memory fetches equal a single L2-sized cache's fetch misses.
+  MultiLevelCache H = makeHierarchy(1024, 64 << 10);
+  Cache Single({.SizeBytes = 64 << 10, .BlockBytes = 64});
+  Rng R(3);
+  for (int I = 0; I != 30000; ++I) {
+    Address A = 0x100000 + (static_cast<Address>(R.below(32 << 10)) & ~3u);
+    Ref Rf = R.below(2) ? load(A) : store(A);
+    (void)H.access(Rf);
+    (void)Single.access(Rf);
+  }
+  // The working set fits L2 entirely, so memory fetches are dominated by
+  // cold misses, and the hierarchy tracks the single-level cache within a
+  // small band (exact equality does not hold: write-validate allocations
+  // are absorbed by L1 and never reach L2).
+  uint64_t SingleCold = Single.totalCounters().FetchMisses +
+                        Single.totalCounters().NoFetchMisses;
+  EXPECT_GE(H.memoryFetches(), SingleCold / 2);
+  EXPECT_LE(H.memoryFetches(), SingleCold * 2);
+  // And it must be far below the L1-only fetch-miss count.
+  EXPECT_LT(H.memoryFetches(), H.l1().totalCounters().FetchMisses / 4);
+}
+
+TEST(MultiLevel, LayoutSeedChangesLayoutDeterministically) {
+  // Companion knob used by ext2_layout: different seeds must give
+  // different static layouts, same seed the same layout.
+  // (Tested at the VM level in test_core; here just the RNG contract.)
+  Rng A(7919), B(7919), C(2 * 7919);
+  EXPECT_EQ(A.next(), B.next());
+  EXPECT_NE(A.next(), C.next());
+}

@@ -1,0 +1,200 @@
+//===- test_primitives.cpp - Focused primitive-procedure coverage --------------===//
+//
+// Direct coverage of the C++ primitive set (arithmetic corners, rounding,
+// character classes, string operations, comparison chains) beyond the
+// incidental coverage in the language suite.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gcache/vm/SchemeSystem.h"
+
+#include <gtest/gtest.h>
+
+using namespace gcache;
+
+namespace {
+std::string ev(const std::string &Src) {
+  SchemeSystemConfig C;
+  SchemeSystem S(C);
+  Value V = S.run(Src);
+  return S.vm().valueToString(V, /*WriteStyle=*/true);
+}
+} // namespace
+
+//===--- Arithmetic corners ---------------------------------------------------//
+
+TEST(PrimArith, UnaryReciprocal) { EXPECT_EQ(ev("(/ 4)"), "0.25"); }
+TEST(PrimArith, ChainedDivision) { EXPECT_EQ(ev("(/ 8 2 2)"), "2"); }
+TEST(PrimArith, ChainedDivisionInexactMiddle) {
+  EXPECT_EQ(ev("(/ 9 2 3)"), "1.5");
+}
+TEST(PrimArith, QuotientTruncatesTowardZero) {
+  EXPECT_EQ(ev("(quotient -17 5)"), "-3");
+  EXPECT_EQ(ev("(quotient 17 -5)"), "-3");
+}
+TEST(PrimArith, RemainderSignFollowsDividend) {
+  EXPECT_EQ(ev("(remainder -17 5)"), "-2");
+  EXPECT_EQ(ev("(remainder 17 -5)"), "2");
+}
+TEST(PrimArith, ModuloSignFollowsDivisor) {
+  EXPECT_EQ(ev("(modulo -17 5)"), "3");
+  EXPECT_EQ(ev("(modulo 17 -5)"), "-3");
+}
+TEST(PrimArith, MinMaxMixedExactness) {
+  EXPECT_EQ(ev("(min 3 2.5 4)"), "2.5");
+  EXPECT_EQ(ev("(max 3 2.5 4)"), "4.");
+  EXPECT_EQ(ev("(min 1 2 3)"), "1") << "all-fixnum stays exact";
+}
+TEST(PrimArith, AbsFlonum) { EXPECT_EQ(ev("(abs -2.5)"), "2.5"); }
+TEST(PrimArith, RoundingFamilyOnNegatives) {
+  EXPECT_EQ(ev("(floor -2.5)"), "-3");
+  EXPECT_EQ(ev("(ceiling -2.5)"), "-2");
+  EXPECT_EQ(ev("(truncate -2.5)"), "-2");
+  EXPECT_EQ(ev("(round -2.5)"), "-2") << "banker's rounding to even";
+}
+TEST(PrimArith, RoundingOnFixnumsIsIdentity) {
+  EXPECT_EQ(ev("(floor 7)"), "7");
+  EXPECT_EQ(ev("(round -7)"), "-7");
+}
+TEST(PrimArith, ExptNegativeExponentIsReal) {
+  EXPECT_EQ(ev("(expt 2 -1)"), "0.5");
+}
+TEST(PrimArith, ExptOverflowPromotes) {
+  EXPECT_EQ(ev("(integer? (expt 2 40))"), "#t");
+  EXPECT_EQ(ev("(< 0 (expt 2 40))"), "#t");
+}
+TEST(PrimArith, TranscendentalRoundTrip) {
+  EXPECT_EQ(ev("(< (abs (- (log (exp 1.0)) 1.0)) 0.000001)"), "#t");
+  EXPECT_EQ(ev("(< (abs (- (sqrt 2.0) 1.41421356)) 0.0001)"), "#t");
+}
+TEST(PrimArith, AtanTwoArguments) {
+  EXPECT_EQ(ev("(< (abs (- (atan 1.0 1.0) 0.78539816)) 0.0001)"), "#t");
+}
+TEST(PrimArith, ExactInexactConversions) {
+  EXPECT_EQ(ev("(exact->inexact 3)"), "3.");
+  EXPECT_EQ(ev("(inexact->exact 3.0)"), "3");
+}
+TEST(PrimArith, ComparisonChainsMixed) {
+  EXPECT_EQ(ev("(< 1 1.5 2)"), "#t");
+  EXPECT_EQ(ev("(= 2 2.0)"), "#t");
+  EXPECT_EQ(ev("(<= 2 2 2.0 3)"), "#t");
+}
+
+//===--- Pairs and cxr chains -------------------------------------------------//
+
+TEST(PrimPairs, CxrChains) {
+  EXPECT_EQ(ev("(caar '((1 2) 3))"), "1");
+  EXPECT_EQ(ev("(cadr '(1 2 3))"), "2");
+  EXPECT_EQ(ev("(cdar '((1 2) 3))"), "(2)");
+  EXPECT_EQ(ev("(cddr '(1 2 3))"), "(3)");
+  EXPECT_EQ(ev("(caddr '(1 2 3 4))"), "3");
+  EXPECT_EQ(ev("(cdddr '(1 2 3 4))"), "(4)");
+  EXPECT_EQ(ev("(cadddr '(1 2 3 4 5))"), "4");
+}
+TEST(PrimPairs, MemvOnNumbers) {
+  EXPECT_EQ(ev("(memv 2.5 '(1 2.5 3))"), "(2.5 3)");
+  EXPECT_EQ(ev("(memv 9 '(1 2))"), "#f");
+}
+TEST(PrimPairs, AssqAssvAssoc) {
+  EXPECT_EQ(ev("(assq 'b '((a . 1) (b . 2)))"), "(b . 2)");
+  EXPECT_EQ(ev("(assv 2 '((1 . one) (2 . two)))"), "(2 . two)");
+  EXPECT_EQ(ev("(assoc '(k) '(((j) . 1) ((k) . 2)))"), "((k) . 2)");
+}
+
+//===--- Vectors ---------------------------------------------------------------//
+
+TEST(PrimVec, VectorLiteralConstructor) {
+  EXPECT_EQ(ev("(vector 1 'two 3.0)"), "#(1 two 3.)");
+  EXPECT_EQ(ev("(vector)"), "#()");
+}
+TEST(PrimVec, MakeVectorDefaultFill) {
+  EXPECT_EQ(ev("(vector-ref (make-vector 3) 2)"), "0");
+}
+TEST(PrimVec, VectorCopyIndependent) {
+  EXPECT_EQ(ev("(define v (vector 1 2))"
+               "(define w (vector-copy v))"
+               "(vector-set! w 0 9)"
+               "(list (vector-ref v 0) (vector-ref w 0))"),
+            "(1 9)");
+}
+
+//===--- Strings and characters -----------------------------------------------//
+
+TEST(PrimStr, Comparisons) {
+  EXPECT_EQ(ev("(string=? \"abc\" \"abc\")"), "#t");
+  EXPECT_EQ(ev("(string=? \"abc\" \"abd\")"), "#f");
+  EXPECT_EQ(ev("(string<? \"abc\" \"abd\")"), "#t");
+  EXPECT_EQ(ev("(string<? \"b\" \"ab\")"), "#f");
+}
+TEST(PrimStr, AppendEdges) {
+  EXPECT_EQ(ev("(string-append)"), "\"\"");
+  EXPECT_EQ(ev("(string-append \"\" \"x\" \"\")"), "\"x\"");
+}
+TEST(PrimStr, SubstringEdges) {
+  EXPECT_EQ(ev("(substring \"hello\" 0 0)"), "\"\"");
+  EXPECT_EQ(ev("(substring \"hello\" 0 5)"), "\"hello\"");
+  EXPECT_EQ(ev("(substring \"hello\" 1 3)"), "\"el\"");
+}
+TEST(PrimStr, SymbolStringRoundTrip) {
+  EXPECT_EQ(ev("(symbol->string 'abc)"), "\"abc\"");
+  EXPECT_EQ(ev("(eq? (string->symbol \"qq\") (string->symbol \"qq\"))"),
+            "#t")
+      << "interning";
+}
+TEST(PrimChar, Classes) {
+  EXPECT_EQ(ev("(char-alphabetic? #\\a)"), "#t");
+  EXPECT_EQ(ev("(char-alphabetic? #\\1)"), "#f");
+  EXPECT_EQ(ev("(char-numeric? #\\7)"), "#t");
+  EXPECT_EQ(ev("(char-whitespace? #\\space)"), "#t");
+  EXPECT_EQ(ev("(char-whitespace? #\\x)"), "#f");
+}
+TEST(PrimChar, CaseAndOrder) {
+  EXPECT_EQ(ev("(char-upcase #\\z)"), "#\\Z");
+  EXPECT_EQ(ev("(char-downcase #\\Q)"), "#\\q");
+  EXPECT_EQ(ev("(char<? #\\a #\\b)"), "#t");
+  EXPECT_EQ(ev("(char=? #\\a #\\a)"), "#t");
+}
+
+//===--- Predicates --------------------------------------------------------===//
+
+TEST(PrimPred, ProcedureRecognizesPrimsAndLambdas) {
+  EXPECT_EQ(ev("(procedure? car)"), "#t");
+  EXPECT_EQ(ev("(procedure? (lambda (x) x))"), "#t");
+  EXPECT_EQ(ev("(procedure? 'car)"), "#f");
+}
+TEST(PrimPred, NumericPredicatesOnFlonums) {
+  EXPECT_EQ(ev("(number? 2.5)"), "#t");
+  EXPECT_EQ(ev("(integer? 2.5)"), "#f");
+  EXPECT_EQ(ev("(real? 2.5)"), "#t");
+  EXPECT_EQ(ev("(zero? 0.0)"), "#t");
+  EXPECT_EQ(ev("(negative? -0.5)"), "#t");
+}
+TEST(PrimPred, TypeDisjointness) {
+  EXPECT_EQ(ev("(list (pair? \"s\") (string? '(1)) (vector? 'v)"
+               "      (symbol? 1) (char? 97) (boolean? 0))"),
+            "(#f #f #f #f #f #f)");
+}
+
+//===--- Tables and runtime ----------------------------------------------------//
+
+TEST(PrimTable, DefaultDefaultIsFalse) {
+  EXPECT_EQ(ev("(table-ref (make-table) 'missing)"), "#f");
+}
+TEST(PrimTable, FixnumAndSymbolKeysCoexist) {
+  EXPECT_EQ(ev("(define t (make-table))"
+               "(table-set! t 1 'one)"
+               "(table-set! t 'one 1)"
+               "(list (table-ref t 1 #f) (table-ref t 'one #f))"),
+            "(one 1)");
+}
+TEST(PrimRuntime, GcCountZeroWithoutCollector) {
+  EXPECT_EQ(ev("(gc-count)"), "0");
+}
+TEST(PrimRuntime, RuntimePokeYieldsFixnum) {
+  EXPECT_EQ(ev("(number? (runtime-poke))"), "#t");
+}
+TEST(PrimEq, SmallValuesAreEq) {
+  EXPECT_EQ(ev("(eq? 42 42)"), "#t");
+  EXPECT_EQ(ev("(eq? #\\a #\\a)"), "#t");
+  EXPECT_EQ(ev("(eq? '() '())"), "#t");
+}

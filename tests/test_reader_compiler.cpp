@@ -1,0 +1,250 @@
+//===- test_reader_compiler.cpp - Reader and compiler unit tests ---------------===//
+
+#include "gcache/vm/Compiler.h"
+#include "gcache/vm/Primitives.h"
+#include "gcache/vm/Sexpr.h"
+#include "gcache/vm/VM.h"
+
+#include <gtest/gtest.h>
+
+using namespace gcache;
+
+//===----------------------------------------------------------------------===//
+// Reader
+//===----------------------------------------------------------------------===//
+
+TEST(Reader, Atoms) {
+  ReadResult R = readAll("foo 42 -17 3.5 -2e3 \"str\" #t #f #\\a");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  ASSERT_EQ(R.Data.size(), 9u);
+  EXPECT_EQ(R.Data[0].K, Sexpr::Kind::Symbol);
+  EXPECT_EQ(R.Data[1].Int, 42);
+  EXPECT_EQ(R.Data[2].Int, -17);
+  EXPECT_DOUBLE_EQ(R.Data[3].Real, 3.5);
+  EXPECT_DOUBLE_EQ(R.Data[4].Real, -2000.0);
+  EXPECT_EQ(R.Data[5].Text, "str");
+  EXPECT_EQ(R.Data[6].Int, 1);
+  EXPECT_EQ(R.Data[7].Int, 0);
+  EXPECT_EQ(R.Data[8].Int, 'a');
+}
+
+TEST(Reader, SymbolsWithSigns) {
+  ReadResult R = readAll("+ - -foo 1+ ->x");
+  ASSERT_TRUE(R.Ok);
+  for (const Sexpr &S : R.Data)
+    EXPECT_EQ(S.K, Sexpr::Kind::Symbol) << S.toString();
+}
+
+TEST(Reader, NestedLists) {
+  ReadResult R = readOne("(a (b (c)) d)");
+  ASSERT_TRUE(R.Ok);
+  const Sexpr &S = R.Data[0];
+  ASSERT_EQ(S.size(), 3u);
+  EXPECT_EQ(S[1][1][0].Text, "c");
+}
+
+TEST(Reader, DottedPair) {
+  ReadResult R = readOne("(a . b)");
+  ASSERT_TRUE(R.Ok);
+  ASSERT_TRUE(R.Data[0].DottedTail != nullptr);
+  EXPECT_EQ(R.Data[0].DottedTail->Text, "b");
+}
+
+TEST(Reader, QuoteSugar) {
+  ReadResult R = readOne("'(1 2)");
+  ASSERT_TRUE(R.Ok);
+  EXPECT_TRUE(R.Data[0][0].isSymbol("quote"));
+  EXPECT_EQ(R.Data[0][1].size(), 2u);
+}
+
+TEST(Reader, QuasiquoteSugar) {
+  ReadResult R = readOne("`(a ,b ,@c)");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  const Sexpr &S = R.Data[0];
+  EXPECT_TRUE(S[0].isSymbol("quasiquote"));
+  EXPECT_TRUE(S[1][1][0].isSymbol("unquote"));
+  EXPECT_TRUE(S[1][2][0].isSymbol("unquote-splicing"));
+}
+
+TEST(Reader, CommentsAndWhitespace) {
+  ReadResult R = readAll("; a comment\n  42 ; trailing\n;last\n");
+  ASSERT_TRUE(R.Ok);
+  ASSERT_EQ(R.Data.size(), 1u);
+  EXPECT_EQ(R.Data[0].Int, 42);
+}
+
+TEST(Reader, StringEscapes) {
+  ReadResult R = readOne("\"a\\nb\\\\c\\\"d\"");
+  ASSERT_TRUE(R.Ok);
+  EXPECT_EQ(R.Data[0].Text, "a\nb\\c\"d");
+}
+
+TEST(Reader, NamedCharacters) {
+  ReadResult R = readAll("#\\space #\\newline #\\tab #\\s");
+  ASSERT_TRUE(R.Ok);
+  EXPECT_EQ(R.Data[0].Int, ' ');
+  EXPECT_EQ(R.Data[1].Int, '\n');
+  EXPECT_EQ(R.Data[2].Int, '\t');
+  EXPECT_EQ(R.Data[3].Int, 's');
+}
+
+TEST(Reader, Brackets) {
+  ReadResult R = readOne("[a b]");
+  ASSERT_TRUE(R.Ok);
+  EXPECT_EQ(R.Data[0].size(), 2u);
+}
+
+TEST(Reader, ErrorsReported) {
+  EXPECT_FALSE(readAll("(unclosed").Ok);
+  EXPECT_FALSE(readAll(")").Ok);
+  EXPECT_FALSE(readAll("\"unterminated").Ok);
+  EXPECT_FALSE(readOne("1 2").Ok);
+  ReadResult R = readAll("\n\n(oops");
+  EXPECT_NE(R.Error.find("line 3"), std::string::npos) << R.Error;
+}
+
+TEST(Reader, RoundTripToString) {
+  const char *Src = "(define (f x . r) (if (< x 2) '(a . b) #t))";
+  ReadResult R = readOne(Src);
+  ASSERT_TRUE(R.Ok);
+  ReadResult R2 = readOne(R.Data[0].toString());
+  ASSERT_TRUE(R2.Ok);
+  EXPECT_EQ(R.Data[0].toString(), R2.Data[0].toString());
+}
+
+//===----------------------------------------------------------------------===//
+// Compiler (bytecode inspection)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Compiles one form and returns its code object (plus access to nested
+/// lambda code objects through the VM).
+class CompileFixture : public ::testing::Test {
+protected:
+  CompileFixture() : M(H) {
+    registerPrimitives(M);
+  }
+
+  const CodeObject &compile(const std::string &Src) {
+    ReadResult R = readOne(Src);
+    EXPECT_TRUE(R.Ok) << R.Error;
+    Compiler C(M);
+    return M.code(C.compileToplevel(R.Data[0]));
+  }
+
+  bool hasOp(const CodeObject &C, Op O) {
+    for (const Instr &I : C.Code)
+      if (I.Code == O)
+        return true;
+    return false;
+  }
+
+  /// Finds the most recently added code object containing op O (searching
+  /// nested lambdas).
+  const CodeObject *findCodeWithName(const std::string &Name) {
+    for (size_t I = M.numCodeObjects(); I-- > 0;)
+      if (M.code(static_cast<uint32_t>(I)).Name == Name)
+        return &M.code(static_cast<uint32_t>(I));
+    return nullptr;
+  }
+
+  Heap H;
+  VM M;
+};
+
+} // namespace
+
+TEST_F(CompileFixture, ConstantsDeduplicated) {
+  const CodeObject &C = compile("(+ 5 5 5)");
+  unsigned Fives = 0;
+  for (Value V : C.Consts)
+    Fives += V.isFixnum() && V.asFixnum() == 5;
+  EXPECT_EQ(Fives, 1u);
+}
+
+TEST_F(CompileFixture, PrimitiveCallsAreIntegrated) {
+  const CodeObject &C = compile("(car '(1))");
+  EXPECT_TRUE(hasOp(C, Op::Prim));
+  EXPECT_FALSE(hasOp(C, Op::Call));
+}
+
+TEST_F(CompileFixture, NonPrimitiveCallsUseCall) {
+  const CodeObject &C = compile("(somefunc 1 2)");
+  EXPECT_TRUE(hasOp(C, Op::Call));
+}
+
+TEST_F(CompileFixture, TailCallsInLambdaBodies) {
+  compile("(define (loop n) (loop (- n 1)))");
+  const CodeObject *Loop = findCodeWithName("loop");
+  ASSERT_NE(Loop, nullptr);
+  EXPECT_TRUE(hasOp(*Loop, Op::TailCall));
+  EXPECT_FALSE(hasOp(*Loop, Op::Call));
+}
+
+TEST_F(CompileFixture, NonTailCallsStayCalls) {
+  compile("(define (f n) (+ 1 (f n)))");
+  const CodeObject *F = findCodeWithName("f");
+  ASSERT_NE(F, nullptr);
+  EXPECT_TRUE(hasOp(*F, Op::Call));
+  EXPECT_FALSE(hasOp(*F, Op::TailCall)) << "argument position is not tail";
+}
+
+TEST_F(CompileFixture, UnassignedVarsAreNotBoxed) {
+  compile("(define (f x) x)");
+  const CodeObject *F = findCodeWithName("f");
+  ASSERT_NE(F, nullptr);
+  EXPECT_FALSE(hasOp(*F, Op::MakeCell));
+}
+
+TEST_F(CompileFixture, AssignedVarsAreBoxed) {
+  compile("(define (f x) (set! x 1) x)");
+  const CodeObject *F = findCodeWithName("f");
+  ASSERT_NE(F, nullptr);
+  EXPECT_TRUE(hasOp(*F, Op::MakeCell));
+  EXPECT_TRUE(hasOp(*F, Op::CellSet));
+  EXPECT_TRUE(hasOp(*F, Op::CellRef));
+}
+
+TEST_F(CompileFixture, ClosureCapturesFreeVariables) {
+  compile("(define (f x) (lambda (y) (+ x y)))");
+  const CodeObject *F = findCodeWithName("f");
+  ASSERT_NE(F, nullptr);
+  bool FoundClosure = false;
+  for (const Instr &I : F->Code)
+    if (I.Code == Op::MakeClosure) {
+      FoundClosure = true;
+      EXPECT_EQ(I.B, 1u) << "captures exactly x";
+    }
+  EXPECT_TRUE(FoundClosure);
+}
+
+TEST_F(CompileFixture, VariadicLambdaFlagged) {
+  compile("(define (f a . rest) rest)");
+  const CodeObject *F = findCodeWithName("f");
+  ASSERT_NE(F, nullptr);
+  EXPECT_TRUE(F->Variadic);
+  EXPECT_EQ(F->NumRequired, 1u);
+  EXPECT_EQ(F->argSlots(), 2u);
+}
+
+TEST_F(CompileFixture, LetAllocatesLocals) {
+  const CodeObject &C = compile("(let ((a 1) (b 2)) (+ a b))");
+  EXPECT_GE(C.NumLocals, 2u);
+  EXPECT_TRUE(hasOp(C, Op::LocalSet));
+}
+
+TEST_F(CompileFixture, Disassembles) {
+  const CodeObject &C = compile("(if #t 1 2)");
+  std::string D = disassemble(C);
+  EXPECT_NE(D.find("jump-if-false"), std::string::npos);
+  EXPECT_NE(D.find("return"), std::string::npos);
+}
+
+TEST_F(CompileFixture, SiblingLetsReuseSlots) {
+  const CodeObject &A =
+      compile("(begin (let ((x 1)) x) (let ((y 2)) y))");
+  const CodeObject &B = compile("(let ((x 1)) (let ((y 2)) y))");
+  EXPECT_EQ(A.NumLocals, 1u) << "sibling lets share a slot";
+  EXPECT_EQ(B.NumLocals, 2u) << "nested lets stack";
+}

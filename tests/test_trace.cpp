@@ -1,0 +1,121 @@
+//===- test_trace.cpp - Trace event and sink unit tests -----------------------===//
+
+#include "gcache/trace/Sinks.h"
+#include "gcache/trace/TraceFile.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <vector>
+
+using namespace gcache;
+
+TEST(CountingSink, CountsByKindAndPhase) {
+  CountingSink S;
+  S.onRef({0x100, AccessKind::Load, Phase::Mutator});
+  S.onRef({0x104, AccessKind::Store, Phase::Mutator});
+  S.onRef({0x108, AccessKind::Store, Phase::Mutator});
+  S.onRef({0x10c, AccessKind::Load, Phase::Collector});
+  EXPECT_EQ(S.loads(Phase::Mutator), 1u);
+  EXPECT_EQ(S.stores(Phase::Mutator), 2u);
+  EXPECT_EQ(S.loads(Phase::Collector), 1u);
+  EXPECT_EQ(S.totalRefs(), 4u);
+  EXPECT_EQ(S.mutatorRefs(), 3u);
+}
+
+TEST(CountingSink, AllocationAndCollections) {
+  CountingSink S;
+  S.onAlloc(0x1000, 64);
+  S.onAlloc(0x1040, 16);
+  S.onGcBegin();
+  S.onGcBegin();
+  EXPECT_EQ(S.allocatedBytes(), 80u);
+  EXPECT_EQ(S.collections(), 2u);
+}
+
+TEST(TraceBus, BroadcastsInOrder) {
+  TraceBus Bus;
+  CountingSink A, B;
+  Bus.addSink(&A);
+  Bus.addSink(&B);
+  Bus.onRef({0x10, AccessKind::Load, Phase::Mutator});
+  Bus.onAlloc(0x20, 8);
+  EXPECT_EQ(A.totalRefs(), 1u);
+  EXPECT_EQ(B.totalRefs(), 1u);
+  EXPECT_EQ(A.allocatedBytes(), 8u);
+}
+
+TEST(CallbackSink, InvokesCallbacks) {
+  CallbackSink S;
+  std::vector<Address> Addrs;
+  S.OnRef = [&](const Ref &R) { Addrs.push_back(R.Addr); };
+  S.onRef({0x4, AccessKind::Load, Phase::Mutator});
+  S.onRef({0x8, AccessKind::Store, Phase::Collector});
+  ASSERT_EQ(Addrs.size(), 2u);
+  EXPECT_EQ(Addrs[1], 0x8u);
+}
+
+namespace {
+std::string tempPath(const char *Name) {
+  return std::string(::testing::TempDir()) + "/" + Name;
+}
+} // namespace
+
+TEST(TraceFile, RoundTrip) {
+  std::string Path = tempPath("trace_roundtrip.gct");
+  TraceWriter W;
+  ASSERT_TRUE(W.open(Path));
+  W.onRef({0x1000, AccessKind::Load, Phase::Mutator});
+  W.onRef({0x1004, AccessKind::Store, Phase::Mutator});
+  W.onGcBegin();
+  W.onRef({0x2000, AccessKind::Store, Phase::Collector});
+  W.onGcEnd();
+  W.onAlloc(0x3000, 24);
+  W.onRef({0x3000, AccessKind::Store, Phase::Mutator});
+  EXPECT_EQ(W.recordCount(), 7u);
+  ASSERT_TRUE(W.close());
+
+  struct Recorder final : TraceSink {
+    std::vector<Ref> Refs;
+    uint64_t Allocs = 0, Begins = 0, Ends = 0;
+    void onRef(const Ref &R) override { Refs.push_back(R); }
+    void onAlloc(Address, uint32_t Bytes) override { Allocs += Bytes; }
+    void onGcBegin() override { ++Begins; }
+    void onGcEnd() override { ++Ends; }
+  } R;
+  EXPECT_EQ(TraceReader::replay(Path, R), 7);
+  ASSERT_EQ(R.Refs.size(), 4u);
+  EXPECT_EQ(R.Refs[0].Addr, 0x1000u);
+  EXPECT_EQ(R.Refs[0].Kind, AccessKind::Load);
+  EXPECT_EQ(R.Refs[2].ExecPhase, Phase::Collector);
+  EXPECT_EQ(R.Allocs, 24u);
+  EXPECT_EQ(R.Begins, 1u);
+  EXPECT_EQ(R.Ends, 1u);
+  std::remove(Path.c_str());
+}
+
+TEST(TraceFile, RejectsMissingFile) {
+  CountingSink S;
+  EXPECT_EQ(TraceReader::replay(tempPath("nope.gct"), S), -1);
+}
+
+TEST(TraceFile, RejectsCorruptHeader) {
+  std::string Path = tempPath("corrupt.gct");
+  FILE *F = fopen(Path.c_str(), "wb");
+  fputs("NOT A TRACE FILE AT ALL", F);
+  fclose(F);
+  CountingSink S;
+  EXPECT_EQ(TraceReader::replay(Path, S), -1);
+  std::remove(Path.c_str());
+}
+
+TEST(TraceFile, EmptyTraceRoundTrips) {
+  std::string Path = tempPath("empty.gct");
+  TraceWriter W;
+  ASSERT_TRUE(W.open(Path));
+  ASSERT_TRUE(W.close());
+  CountingSink S;
+  EXPECT_EQ(TraceReader::replay(Path, S), 0);
+  EXPECT_EQ(S.totalRefs(), 0u);
+  std::remove(Path.c_str());
+}

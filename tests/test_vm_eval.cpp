@@ -1,0 +1,490 @@
+//===- test_vm_eval.cpp - Scheme evaluation tests ----------------------------===//
+//
+// Language-level tests for the reader, compiler, and VM: every special
+// form, closures and assignment conversion, tail calls, the numeric tower,
+// and the prelude library. These run under the no-GC configuration (the
+// §5 control system) unless stated otherwise.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gcache/vm/SchemeSystem.h"
+
+#include <gtest/gtest.h>
+
+using namespace gcache;
+
+namespace {
+
+std::string evalToString(const std::string &Src, GcKind Gc = GcKind::None,
+                         uint32_t SemiKb = 4096) {
+  SchemeSystemConfig C;
+  C.Gc = Gc;
+  C.SemispaceBytes = SemiKb * 1024;
+  C.Generational.NurseryBytes = 256 * 1024;
+  C.Generational.OldSemispaceBytes = SemiKb * 1024;
+  SchemeSystem S(C);
+  Value V = S.run(Src);
+  return S.vm().valueToString(V, /*WriteStyle=*/true);
+}
+
+std::string evalOutput(const std::string &Src) {
+  SchemeSystemConfig C;
+  SchemeSystem S(C);
+  S.run(Src);
+  return S.vm().output();
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Literals and quoting
+//===----------------------------------------------------------------------===//
+
+TEST(EvalLiterals, Fixnum) { EXPECT_EQ(evalToString("42"), "42"); }
+TEST(EvalLiterals, NegativeFixnum) { EXPECT_EQ(evalToString("-7"), "-7"); }
+TEST(EvalLiterals, Real) { EXPECT_EQ(evalToString("2.5"), "2.5"); }
+TEST(EvalLiterals, BoolTrue) { EXPECT_EQ(evalToString("#t"), "#t"); }
+TEST(EvalLiterals, BoolFalse) { EXPECT_EQ(evalToString("#f"), "#f"); }
+TEST(EvalLiterals, Char) { EXPECT_EQ(evalToString("#\\a"), "#\\a"); }
+TEST(EvalLiterals, CharSpace) { EXPECT_EQ(evalToString("#\\space"), "#\\space"); }
+TEST(EvalLiterals, String) {
+  EXPECT_EQ(evalToString("\"hello\""), "\"hello\"");
+}
+TEST(EvalLiterals, QuotedSymbol) { EXPECT_EQ(evalToString("'foo"), "foo"); }
+TEST(EvalLiterals, QuotedList) {
+  EXPECT_EQ(evalToString("'(1 2 3)"), "(1 2 3)");
+}
+TEST(EvalLiterals, QuotedNested) {
+  EXPECT_EQ(evalToString("'(a (b c) d)"), "(a (b c) d)");
+}
+TEST(EvalLiterals, QuotedDotted) {
+  EXPECT_EQ(evalToString("'(1 . 2)"), "(1 . 2)");
+}
+TEST(EvalLiterals, EmptyList) { EXPECT_EQ(evalToString("'()"), "()"); }
+
+//===----------------------------------------------------------------------===//
+// Arithmetic
+//===----------------------------------------------------------------------===//
+
+TEST(EvalArith, Add) { EXPECT_EQ(evalToString("(+ 1 2 3)"), "6"); }
+TEST(EvalArith, AddEmpty) { EXPECT_EQ(evalToString("(+)"), "0"); }
+TEST(EvalArith, Sub) { EXPECT_EQ(evalToString("(- 10 3 2)"), "5"); }
+TEST(EvalArith, Negate) { EXPECT_EQ(evalToString("(- 5)"), "-5"); }
+TEST(EvalArith, Mul) { EXPECT_EQ(evalToString("(* 2 3 4)"), "24"); }
+TEST(EvalArith, DivExact) { EXPECT_EQ(evalToString("(/ 12 4)"), "3"); }
+TEST(EvalArith, DivInexact) { EXPECT_EQ(evalToString("(/ 1 2)"), "0.5"); }
+TEST(EvalArith, MixedReal) { EXPECT_EQ(evalToString("(+ 1 0.5)"), "1.5"); }
+TEST(EvalArith, Quotient) { EXPECT_EQ(evalToString("(quotient 17 5)"), "3"); }
+TEST(EvalArith, Remainder) {
+  EXPECT_EQ(evalToString("(remainder 17 5)"), "2");
+}
+TEST(EvalArith, ModuloNegative) {
+  EXPECT_EQ(evalToString("(modulo -7 3)"), "2");
+}
+TEST(EvalArith, Abs) { EXPECT_EQ(evalToString("(abs -4)"), "4"); }
+TEST(EvalArith, MinMax) {
+  EXPECT_EQ(evalToString("(min 3 1 2)"), "1");
+  EXPECT_EQ(evalToString("(max 3 1 2)"), "3");
+}
+TEST(EvalArith, Comparisons) {
+  EXPECT_EQ(evalToString("(< 1 2 3)"), "#t");
+  EXPECT_EQ(evalToString("(< 1 3 2)"), "#f");
+  EXPECT_EQ(evalToString("(= 2 2 2)"), "#t");
+  EXPECT_EQ(evalToString("(>= 3 3 2)"), "#t");
+}
+TEST(EvalArith, Expt) { EXPECT_EQ(evalToString("(expt 2 10)"), "1024"); }
+TEST(EvalArith, Sqrt) { EXPECT_EQ(evalToString("(sqrt 9)"), "3."); }
+TEST(EvalArith, OverflowPromotes) {
+  // 2^40 exceeds the 30-bit fixnum range and becomes a flonum.
+  EXPECT_EQ(evalToString("(* 1048576 1048576)"), "1.09951e+12");
+}
+TEST(EvalArith, FloorCeiling) {
+  EXPECT_EQ(evalToString("(floor 2.7)"), "2");
+  EXPECT_EQ(evalToString("(ceiling 2.3)"), "3");
+}
+TEST(EvalArith, NumberPredicates) {
+  EXPECT_EQ(evalToString("(zero? 0)"), "#t");
+  EXPECT_EQ(evalToString("(positive? 3)"), "#t");
+  EXPECT_EQ(evalToString("(negative? -3)"), "#t");
+  EXPECT_EQ(evalToString("(even? 4)"), "#t");
+  EXPECT_EQ(evalToString("(odd? 4)"), "#f");
+  EXPECT_EQ(evalToString("(integer? 2.0)"), "#t");
+  EXPECT_EQ(evalToString("(integer? 2.5)"), "#f");
+}
+
+//===----------------------------------------------------------------------===//
+// Special forms
+//===----------------------------------------------------------------------===//
+
+TEST(EvalForms, IfTrue) { EXPECT_EQ(evalToString("(if #t 1 2)"), "1"); }
+TEST(EvalForms, IfFalse) { EXPECT_EQ(evalToString("(if #f 1 2)"), "2"); }
+TEST(EvalForms, IfNoElse) {
+  EXPECT_EQ(evalToString("(if #f 1)"), "#<unspecified>");
+}
+TEST(EvalForms, ZeroIsTruthy) { EXPECT_EQ(evalToString("(if 0 'y 'n)"), "y"); }
+TEST(EvalForms, Begin) { EXPECT_EQ(evalToString("(begin 1 2 3)"), "3"); }
+TEST(EvalForms, Let) {
+  EXPECT_EQ(evalToString("(let ((x 2) (y 3)) (+ x y))"), "5");
+}
+TEST(EvalForms, LetShadowing) {
+  EXPECT_EQ(evalToString("(let ((x 1)) (let ((x 2)) x))"), "2");
+}
+TEST(EvalForms, LetParallel) {
+  // let evaluates inits in the outer scope.
+  EXPECT_EQ(evalToString("(let ((x 1)) (let ((x 2) (y x)) y))"), "1");
+}
+TEST(EvalForms, LetStar) {
+  EXPECT_EQ(evalToString("(let* ((x 1) (y (+ x 1))) y)"), "2");
+}
+TEST(EvalForms, Letrec) {
+  EXPECT_EQ(evalToString("(letrec ((even? (lambda (n) (if (= n 0) #t (odd? (- n 1)))))"
+                         "         (odd?  (lambda (n) (if (= n 0) #f (even? (- n 1))))))"
+                         "  (even? 10))"),
+            "#t");
+}
+TEST(EvalForms, NamedLet) {
+  EXPECT_EQ(evalToString("(let loop ((i 0) (acc 0))"
+                         "  (if (= i 5) acc (loop (+ i 1) (+ acc i))))"),
+            "10");
+}
+TEST(EvalForms, CondFirst) {
+  EXPECT_EQ(evalToString("(cond (#t 1) (else 2))"), "1");
+}
+TEST(EvalForms, CondElse) {
+  EXPECT_EQ(evalToString("(cond (#f 1) (else 2))"), "2");
+}
+TEST(EvalForms, CondTestOnly) {
+  EXPECT_EQ(evalToString("(cond (#f) (42) (else 0))"), "42");
+}
+TEST(EvalForms, CondNoMatch) {
+  EXPECT_EQ(evalToString("(cond (#f 1))"), "#<unspecified>");
+}
+TEST(EvalForms, Case) {
+  EXPECT_EQ(evalToString("(case 2 ((1) 'one) ((2 3) 'few) (else 'many))"),
+            "few");
+  EXPECT_EQ(evalToString("(case 9 ((1) 'one) ((2 3) 'few) (else 'many))"),
+            "many");
+}
+TEST(EvalForms, And) {
+  EXPECT_EQ(evalToString("(and)"), "#t");
+  EXPECT_EQ(evalToString("(and 1 2 3)"), "3");
+  EXPECT_EQ(evalToString("(and 1 #f 3)"), "#f");
+}
+TEST(EvalForms, Or) {
+  EXPECT_EQ(evalToString("(or)"), "#f");
+  EXPECT_EQ(evalToString("(or #f 2)"), "2");
+  EXPECT_EQ(evalToString("(or #f #f)"), "#f");
+}
+TEST(EvalForms, OrEvaluatesOnce) {
+  EXPECT_EQ(evalToString("(define n 0)"
+                         "(define (bump!) (set! n (+ n 1)) n)"
+                         "(or (bump!) 99) n"),
+            "1");
+}
+TEST(EvalForms, WhenUnless) {
+  EXPECT_EQ(evalToString("(when #t 1 2)"), "2");
+  EXPECT_EQ(evalToString("(unless #f 'ok)"), "ok");
+}
+TEST(EvalForms, DefineAndSet) {
+  EXPECT_EQ(evalToString("(define x 10) (set! x (+ x 1)) x"), "11");
+}
+
+//===----------------------------------------------------------------------===//
+// Procedures and closures
+//===----------------------------------------------------------------------===//
+
+TEST(EvalProc, Lambda) { EXPECT_EQ(evalToString("((lambda (x) (* x x)) 7)"), "49"); }
+TEST(EvalProc, DefineProcedure) {
+  EXPECT_EQ(evalToString("(define (sq x) (* x x)) (sq 9)"), "81");
+}
+TEST(EvalProc, ClosureCapture) {
+  EXPECT_EQ(evalToString("(define (adder n) (lambda (x) (+ x n)))"
+                         "((adder 5) 10)"),
+            "15");
+}
+TEST(EvalProc, SharedMutableCapture) {
+  EXPECT_EQ(evalToString(
+                "(define (make-counter)"
+                "  (let ((n 0)) (lambda () (set! n (+ n 1)) n)))"
+                "(define c (make-counter))"
+                "(c) (c) (c)"),
+            "3");
+}
+TEST(EvalProc, TwoCountersIndependent) {
+  EXPECT_EQ(evalToString("(define (make-counter)"
+                         "  (let ((n 0)) (lambda () (set! n (+ n 1)) n)))"
+                         "(define a (make-counter))"
+                         "(define b (make-counter))"
+                         "(a) (a) (b) (+ (a) (b))"),
+            "5"); // a -> 3, b -> 2
+}
+TEST(EvalProc, NestedCapture) {
+  EXPECT_EQ(evalToString("(define (f a) (lambda (b) (lambda (c) (+ a b c))))"
+                         "(((f 1) 2) 3)"),
+            "6");
+}
+TEST(EvalProc, Variadic) {
+  EXPECT_EQ(evalToString("((lambda args args) 1 2 3)"), "(1 2 3)");
+}
+TEST(EvalProc, VariadicAfterRequired) {
+  EXPECT_EQ(evalToString("((lambda (a . rest) (cons a rest)) 1 2 3)"),
+            "(1 2 3)");
+}
+TEST(EvalProc, VariadicEmptyRest) {
+  EXPECT_EQ(evalToString("((lambda (a . rest) rest) 1)"), "()");
+}
+TEST(EvalProc, InternalDefines) {
+  EXPECT_EQ(evalToString("(define (f x)"
+                         "  (define (g y) (* 2 y))"
+                         "  (define (h z) (+ 1 (g z)))"
+                         "  (h x))"
+                         "(f 10)"),
+            "21");
+}
+TEST(EvalProc, MutualInternalDefines) {
+  EXPECT_EQ(evalToString("(define (f n)"
+                         "  (define (even? n) (if (= n 0) #t (odd? (- n 1))))"
+                         "  (define (odd? n) (if (= n 0) #f (even? (- n 1))))"
+                         "  (even? n))"
+                         "(f 9)"),
+            "#f");
+}
+TEST(EvalProc, DeepTailRecursion) {
+  // One million tail-recursive iterations must not grow the stack.
+  EXPECT_EQ(evalToString("(let loop ((i 0)) (if (= i 1000000) 'done (loop (+ i 1))))"),
+            "done");
+}
+TEST(EvalProc, NonTailRecursion) {
+  EXPECT_EQ(evalToString("(define (sum n) (if (= n 0) 0 (+ n (sum (- n 1)))))"
+                         "(sum 1000)"),
+            "500500");
+}
+TEST(EvalProc, ProcedureAsValue) {
+  EXPECT_EQ(evalToString("(define (twice f x) (f (f x)))"
+                         "(twice car '((((1)))))"),
+            "((1))");
+}
+TEST(EvalProc, PrimitiveAsValue) {
+  EXPECT_EQ(evalToString("(map car '((1 2) (3 4) (5 6)))"), "(1 3 5)");
+}
+TEST(EvalProc, VariadicPrimitiveAsValue) {
+  EXPECT_EQ(evalToString("(apply + '(1 2 3 4))"), "10");
+}
+TEST(EvalProc, ApplyWithLeadingArgs) {
+  EXPECT_EQ(evalToString("(apply + 1 2 '(3 4))"), "10");
+}
+
+//===----------------------------------------------------------------------===//
+// Pairs, lists, prelude
+//===----------------------------------------------------------------------===//
+
+TEST(EvalLists, ConsCarCdr) {
+  EXPECT_EQ(evalToString("(car (cons 1 2))"), "1");
+  EXPECT_EQ(evalToString("(cdr (cons 1 2))"), "2");
+}
+TEST(EvalLists, SetCar) {
+  EXPECT_EQ(evalToString("(define p (cons 1 2)) (set-car! p 9) p"), "(9 . 2)");
+}
+TEST(EvalLists, List) { EXPECT_EQ(evalToString("(list 1 2 3)"), "(1 2 3)"); }
+TEST(EvalLists, Length) { EXPECT_EQ(evalToString("(length '(a b c d))"), "4"); }
+TEST(EvalLists, Append) {
+  EXPECT_EQ(evalToString("(append '(1 2) '(3) '(4 5))"), "(1 2 3 4 5)");
+}
+TEST(EvalLists, Reverse) {
+  EXPECT_EQ(evalToString("(reverse '(1 2 3))"), "(3 2 1)");
+}
+TEST(EvalLists, Map) {
+  EXPECT_EQ(evalToString("(map (lambda (x) (* x x)) '(1 2 3))"), "(1 4 9)");
+}
+TEST(EvalLists, Map2) {
+  EXPECT_EQ(evalToString("(map + '(1 2 3) '(10 20 30))"), "(11 22 33)");
+}
+TEST(EvalLists, Filter) {
+  EXPECT_EQ(evalToString("(filter odd? '(1 2 3 4 5))"), "(1 3 5)");
+}
+TEST(EvalLists, FoldLeft) {
+  EXPECT_EQ(evalToString("(fold-left - 0 '(1 2 3))"), "-6");
+}
+TEST(EvalLists, FoldRight) {
+  EXPECT_EQ(evalToString("(fold-right cons '() '(1 2 3))"), "(1 2 3)");
+}
+TEST(EvalLists, MemqAssq) {
+  EXPECT_EQ(evalToString("(memq 'c '(a b c d))"), "(c d)");
+  EXPECT_EQ(evalToString("(memq 'z '(a b c))"), "#f");
+  EXPECT_EQ(evalToString("(assq 'b '((a 1) (b 2)))"), "(b 2)");
+}
+TEST(EvalLists, MemberUsesEqual) {
+  EXPECT_EQ(evalToString("(member '(1) '((0) (1) (2)))"), "((1) (2))");
+}
+TEST(EvalLists, ListRef) {
+  EXPECT_EQ(evalToString("(list-ref '(a b c) 2)"), "c");
+}
+TEST(EvalLists, Iota) { EXPECT_EQ(evalToString("(iota 4)"), "(0 1 2 3)"); }
+TEST(EvalLists, ListPred) {
+  EXPECT_EQ(evalToString("(list? '(1 2))"), "#t");
+  EXPECT_EQ(evalToString("(list? '(1 . 2))"), "#f");
+}
+
+//===----------------------------------------------------------------------===//
+// Equality
+//===----------------------------------------------------------------------===//
+
+TEST(EvalEq, EqSymbols) { EXPECT_EQ(evalToString("(eq? 'a 'a)"), "#t"); }
+TEST(EvalEq, EqDistinctPairs) {
+  EXPECT_EQ(evalToString("(eq? (cons 1 2) (cons 1 2))"), "#f");
+}
+TEST(EvalEq, EqvNumbers) { EXPECT_EQ(evalToString("(eqv? 3 3)"), "#t"); }
+TEST(EvalEq, EqvFlonums) { EXPECT_EQ(evalToString("(eqv? 1.5 1.5)"), "#t"); }
+TEST(EvalEq, EqualLists) {
+  EXPECT_EQ(evalToString("(equal? '(1 (2 3)) '(1 (2 3)))"), "#t");
+  EXPECT_EQ(evalToString("(equal? '(1 2) '(1 3))"), "#f");
+}
+TEST(EvalEq, EqualStrings) {
+  EXPECT_EQ(evalToString("(equal? \"ab\" \"ab\")"), "#t");
+}
+TEST(EvalEq, EqualVectors) {
+  EXPECT_EQ(evalToString("(equal? (vector 1 2) (vector 1 2))"), "#t");
+}
+
+//===----------------------------------------------------------------------===//
+// Vectors and strings
+//===----------------------------------------------------------------------===//
+
+TEST(EvalVec, MakeRefSet) {
+  EXPECT_EQ(evalToString("(define v (make-vector 3 0))"
+                         "(vector-set! v 1 'x)"
+                         "(vector-ref v 1)"),
+            "x");
+}
+TEST(EvalVec, Length) {
+  EXPECT_EQ(evalToString("(vector-length (make-vector 7 0))"), "7");
+}
+TEST(EvalVec, ToListAndBack) {
+  EXPECT_EQ(evalToString("(vector->list (list->vector '(1 2 3)))"), "(1 2 3)");
+}
+TEST(EvalVec, Fill) {
+  EXPECT_EQ(evalToString("(define v (make-vector 3 0)) (vector-fill! v 9) v"),
+            "#(9 9 9)");
+}
+TEST(EvalStr, Length) {
+  EXPECT_EQ(evalToString("(string-length \"hello\")"), "5");
+}
+TEST(EvalStr, Ref) { EXPECT_EQ(evalToString("(string-ref \"abc\" 1)"), "#\\b"); }
+TEST(EvalStr, AppendSub) {
+  EXPECT_EQ(evalToString("(substring (string-append \"foo\" \"bar\") 2 4)"),
+            "\"ob\"");
+}
+TEST(EvalStr, SymbolRoundTrip) {
+  EXPECT_EQ(evalToString("(string->symbol (symbol->string 'hello))"), "hello");
+  EXPECT_EQ(evalToString("(eq? 'abc (string->symbol \"abc\"))"), "#t");
+}
+TEST(EvalStr, NumberToString) {
+  EXPECT_EQ(evalToString("(number->string 42)"), "\"42\"");
+}
+TEST(EvalChar, Conversions) {
+  EXPECT_EQ(evalToString("(char->integer #\\a)"), "97");
+  EXPECT_EQ(evalToString("(integer->char 65)"), "#\\A");
+  EXPECT_EQ(evalToString("(char-upcase #\\b)"), "#\\B");
+}
+
+//===----------------------------------------------------------------------===//
+// Hash tables
+//===----------------------------------------------------------------------===//
+
+TEST(EvalTable, SetAndGet) {
+  EXPECT_EQ(evalToString("(define t (make-table))"
+                         "(table-set! t 'a 1)"
+                         "(table-set! t 'b 2)"
+                         "(table-ref t 'b 'missing)"),
+            "2");
+}
+TEST(EvalTable, Missing) {
+  EXPECT_EQ(evalToString("(table-ref (make-table) 'a 'missing)"), "missing");
+}
+TEST(EvalTable, Overwrite) {
+  EXPECT_EQ(evalToString("(define t (make-table))"
+                         "(table-set! t 'k 1) (table-set! t 'k 2)"
+                         "(table-ref t 'k #f)"),
+            "2");
+}
+TEST(EvalTable, Count) {
+  EXPECT_EQ(evalToString("(define t (make-table))"
+                         "(table-set! t 'a 1) (table-set! t 'b 2)"
+                         "(table-set! t 'a 3)"
+                         "(table-count t)"),
+            "2");
+}
+TEST(EvalTable, ManyEntriesTriggerResize) {
+  EXPECT_EQ(evalToString("(define t (make-table 2))"
+                         "(for-each (lambda (i) (table-set! t i (* i i)))"
+                         "          (iota 100))"
+                         "(table-ref t 77 'missing)"),
+            "5929");
+}
+
+//===----------------------------------------------------------------------===//
+// Output
+//===----------------------------------------------------------------------===//
+
+TEST(EvalOutput, Display) {
+  EXPECT_EQ(evalOutput("(display \"hi\") (newline) (display 42)"), "hi\n42");
+}
+TEST(EvalOutput, WriteQuotesStrings) {
+  EXPECT_EQ(evalOutput("(write \"hi\")"), "\"hi\"");
+}
+
+//===----------------------------------------------------------------------===//
+// The same programs under the collectors (semantic preservation)
+//===----------------------------------------------------------------------===//
+
+namespace {
+const char *StressProgram =
+    "(define (build n) (if (= n 0) '() (cons n (build (- n 1)))))"
+    "(define (sum l) (fold-left + 0 l))"
+    "(let loop ((i 0) (acc 0))"
+    "  (if (= i 60)"
+    "      acc"
+    "      (loop (+ i 1) (+ acc (sum (build 400))))))";
+} // namespace
+
+TEST(EvalGc, StressNoGc) {
+  EXPECT_EQ(evalToString(StressProgram, GcKind::None), "4812000");
+}
+TEST(EvalGc, StressCheneySmallSemispace) {
+  EXPECT_EQ(evalToString(StressProgram, GcKind::Cheney, /*SemiKb=*/256),
+            "4812000");
+}
+TEST(EvalGc, StressGenerational) {
+  EXPECT_EQ(evalToString(StressProgram, GcKind::Generational, 1024),
+            "4812000");
+}
+TEST(EvalGc, CollectorRunsWereTriggered) {
+  SchemeSystemConfig C;
+  C.Gc = GcKind::Cheney;
+  C.SemispaceBytes = 128 * 1024;
+  SchemeSystem S(C);
+  S.run(StressProgram);
+  EXPECT_GT(S.lastRunStats().Gc.Collections, 0u);
+}
+TEST(EvalGc, GcCountPrimitive) {
+  EXPECT_EQ(evalToString("(gc-collect!) (gc-collect!) (gc-count)",
+                         GcKind::Cheney, 1024),
+            "2");
+}
+TEST(EvalGc, TableSurvivesCollections) {
+  EXPECT_EQ(evalToString("(define t (make-table))"
+                         "(table-set! t 'k 'v)"
+                         "(gc-collect!)"
+                         "(table-set! t 'k2 'v2)"
+                         "(gc-collect!)"
+                         "(list (table-ref t 'k #f) (table-ref t 'k2 #f))",
+                         GcKind::Cheney, 1024),
+            "(v v2)");
+}
+TEST(EvalGc, DeepStructureSurvives) {
+  EXPECT_EQ(evalToString("(define l (map (lambda (i) (list i (* i i))) (iota 100)))"
+                         "(gc-collect!)"
+                         "(list-ref (list-ref l 99) 1)",
+                         GcKind::Cheney, 1024),
+            "9801");
+}
