@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl1_aggressive.dir/abl1_aggressive.cpp.o"
+  "CMakeFiles/abl1_aggressive.dir/abl1_aggressive.cpp.o.d"
+  "abl1_aggressive"
+  "abl1_aggressive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl1_aggressive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl2_associativity.dir/abl2_associativity.cpp.o"
+  "CMakeFiles/abl2_associativity.dir/abl2_associativity.cpp.o.d"
+  "abl2_associativity"
+  "abl2_associativity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl2_associativity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

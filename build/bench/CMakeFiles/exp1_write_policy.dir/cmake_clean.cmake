@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp1_write_policy.dir/exp1_write_policy.cpp.o"
+  "CMakeFiles/exp1_write_policy.dir/exp1_write_policy.cpp.o.d"
+  "exp1_write_policy"
+  "exp1_write_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp1_write_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

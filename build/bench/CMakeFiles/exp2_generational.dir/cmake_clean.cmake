@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp2_generational.dir/exp2_generational.cpp.o"
+  "CMakeFiles/exp2_generational.dir/exp2_generational.cpp.o.d"
+  "exp2_generational"
+  "exp2_generational.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp2_generational.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp3_block_behaviour.dir/exp3_block_behaviour.cpp.o"
+  "CMakeFiles/exp3_block_behaviour.dir/exp3_block_behaviour.cpp.o.d"
+  "exp3_block_behaviour"
+  "exp3_block_behaviour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp3_block_behaviour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

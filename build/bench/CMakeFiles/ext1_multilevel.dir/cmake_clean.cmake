@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext1_multilevel.dir/ext1_multilevel.cpp.o"
+  "CMakeFiles/ext1_multilevel.dir/ext1_multilevel.cpp.o.d"
+  "ext1_multilevel"
+  "ext1_multilevel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext1_multilevel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

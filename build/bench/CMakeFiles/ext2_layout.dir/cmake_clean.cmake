@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext2_layout.dir/ext2_layout.cpp.o"
+  "CMakeFiles/ext2_layout.dir/ext2_layout.cpp.o.d"
+  "ext2_layout"
+  "ext2_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext2_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

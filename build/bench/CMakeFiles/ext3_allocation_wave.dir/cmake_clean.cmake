@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext3_allocation_wave.dir/ext3_allocation_wave.cpp.o"
+  "CMakeFiles/ext3_allocation_wave.dir/ext3_allocation_wave.cpp.o.d"
+  "ext3_allocation_wave"
+  "ext3_allocation_wave.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext3_allocation_wave.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_missplot.dir/fig3_missplot.cpp.o"
+  "CMakeFiles/fig3_missplot.dir/fig3_missplot.cpp.o.d"
+  "fig3_missplot"
+  "fig3_missplot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_missplot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

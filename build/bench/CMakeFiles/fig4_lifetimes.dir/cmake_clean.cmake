@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_lifetimes.dir/fig4_lifetimes.cpp.o"
+  "CMakeFiles/fig4_lifetimes.dir/fig4_lifetimes.cpp.o.d"
+  "fig4_lifetimes"
+  "fig4_lifetimes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_lifetimes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_local_missratio.dir/fig5_local_missratio.cpp.o"
+  "CMakeFiles/fig5_local_missratio.dir/fig5_local_missratio.cpp.o.d"
+  "fig5_local_missratio"
+  "fig5_local_missratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_local_missratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

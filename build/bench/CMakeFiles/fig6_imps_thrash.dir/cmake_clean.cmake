@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_imps_thrash.dir/fig6_imps_thrash.cpp.o"
+  "CMakeFiles/fig6_imps_thrash.dir/fig6_imps_thrash.cpp.o.d"
+  "fig6_imps_thrash"
+  "fig6_imps_thrash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_imps_thrash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_gambit_spread.dir/fig7_gambit_spread.cpp.o"
+  "CMakeFiles/fig7_gambit_spread.dir/fig7_gambit_spread.cpp.o.d"
+  "fig7_gambit_spread"
+  "fig7_gambit_spread.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_gambit_spread.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

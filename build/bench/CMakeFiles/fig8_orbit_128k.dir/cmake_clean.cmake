@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_orbit_128k.dir/fig8_orbit_128k.cpp.o"
+  "CMakeFiles/fig8_orbit_128k.dir/fig8_orbit_128k.cpp.o.d"
+  "fig8_orbit_128k"
+  "fig8_orbit_128k.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_orbit_128k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/missplot_art.dir/missplot_art.cpp.o"
+  "CMakeFiles/missplot_art.dir/missplot_art.cpp.o.d"
+  "missplot_art"
+  "missplot_art.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/missplot_art.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

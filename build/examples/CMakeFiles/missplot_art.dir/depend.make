@@ -1,0 +1,2 @@
+# Empty dependencies file for missplot_art.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("gcache/support")
+subdirs("gcache/trace")
+subdirs("gcache/memsys")
+subdirs("gcache/heap")
+subdirs("gcache/gc")
+subdirs("gcache/vm")
+subdirs("gcache/workloads")
+subdirs("gcache/analysis")
+subdirs("gcache/core")

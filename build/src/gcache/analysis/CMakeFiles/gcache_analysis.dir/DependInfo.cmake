@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gcache/analysis/BlockTracker.cpp" "src/gcache/analysis/CMakeFiles/gcache_analysis.dir/BlockTracker.cpp.o" "gcc" "src/gcache/analysis/CMakeFiles/gcache_analysis.dir/BlockTracker.cpp.o.d"
+  "/root/repo/src/gcache/analysis/LocalMissStats.cpp" "src/gcache/analysis/CMakeFiles/gcache_analysis.dir/LocalMissStats.cpp.o" "gcc" "src/gcache/analysis/CMakeFiles/gcache_analysis.dir/LocalMissStats.cpp.o.d"
+  "/root/repo/src/gcache/analysis/MissPlot.cpp" "src/gcache/analysis/CMakeFiles/gcache_analysis.dir/MissPlot.cpp.o" "gcc" "src/gcache/analysis/CMakeFiles/gcache_analysis.dir/MissPlot.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gcache/memsys/CMakeFiles/gcache_memsys.dir/DependInfo.cmake"
+  "/root/repo/build/src/gcache/heap/CMakeFiles/gcache_heap.dir/DependInfo.cmake"
+  "/root/repo/build/src/gcache/trace/CMakeFiles/gcache_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/gcache/support/CMakeFiles/gcache_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

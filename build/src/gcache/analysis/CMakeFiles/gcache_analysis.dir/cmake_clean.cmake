@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcache_analysis.dir/BlockTracker.cpp.o"
+  "CMakeFiles/gcache_analysis.dir/BlockTracker.cpp.o.d"
+  "CMakeFiles/gcache_analysis.dir/LocalMissStats.cpp.o"
+  "CMakeFiles/gcache_analysis.dir/LocalMissStats.cpp.o.d"
+  "CMakeFiles/gcache_analysis.dir/MissPlot.cpp.o"
+  "CMakeFiles/gcache_analysis.dir/MissPlot.cpp.o.d"
+  "libgcache_analysis.a"
+  "libgcache_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcache_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

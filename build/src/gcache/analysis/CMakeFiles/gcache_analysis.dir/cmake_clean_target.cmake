@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgcache_analysis.a"
+)

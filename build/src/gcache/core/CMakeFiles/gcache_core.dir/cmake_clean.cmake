@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcache_core.dir/Experiment.cpp.o"
+  "CMakeFiles/gcache_core.dir/Experiment.cpp.o.d"
+  "libgcache_core.a"
+  "libgcache_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcache_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gcache/gc/CheneyCollector.cpp" "src/gcache/gc/CMakeFiles/gcache_gc.dir/CheneyCollector.cpp.o" "gcc" "src/gcache/gc/CMakeFiles/gcache_gc.dir/CheneyCollector.cpp.o.d"
+  "/root/repo/src/gcache/gc/Collector.cpp" "src/gcache/gc/CMakeFiles/gcache_gc.dir/Collector.cpp.o" "gcc" "src/gcache/gc/CMakeFiles/gcache_gc.dir/Collector.cpp.o.d"
+  "/root/repo/src/gcache/gc/GenerationalCollector.cpp" "src/gcache/gc/CMakeFiles/gcache_gc.dir/GenerationalCollector.cpp.o" "gcc" "src/gcache/gc/CMakeFiles/gcache_gc.dir/GenerationalCollector.cpp.o.d"
+  "/root/repo/src/gcache/gc/MarkSweepCollector.cpp" "src/gcache/gc/CMakeFiles/gcache_gc.dir/MarkSweepCollector.cpp.o" "gcc" "src/gcache/gc/CMakeFiles/gcache_gc.dir/MarkSweepCollector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gcache/heap/CMakeFiles/gcache_heap.dir/DependInfo.cmake"
+  "/root/repo/build/src/gcache/trace/CMakeFiles/gcache_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/gcache/support/CMakeFiles/gcache_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcache_gc.dir/CheneyCollector.cpp.o"
+  "CMakeFiles/gcache_gc.dir/CheneyCollector.cpp.o.d"
+  "CMakeFiles/gcache_gc.dir/Collector.cpp.o"
+  "CMakeFiles/gcache_gc.dir/Collector.cpp.o.d"
+  "CMakeFiles/gcache_gc.dir/GenerationalCollector.cpp.o"
+  "CMakeFiles/gcache_gc.dir/GenerationalCollector.cpp.o.d"
+  "CMakeFiles/gcache_gc.dir/MarkSweepCollector.cpp.o"
+  "CMakeFiles/gcache_gc.dir/MarkSweepCollector.cpp.o.d"
+  "libgcache_gc.a"
+  "libgcache_gc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcache_gc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gcache/heap/Heap.cpp" "src/gcache/heap/CMakeFiles/gcache_heap.dir/Heap.cpp.o" "gcc" "src/gcache/heap/CMakeFiles/gcache_heap.dir/Heap.cpp.o.d"
+  "/root/repo/src/gcache/heap/HeapVerifier.cpp" "src/gcache/heap/CMakeFiles/gcache_heap.dir/HeapVerifier.cpp.o" "gcc" "src/gcache/heap/CMakeFiles/gcache_heap.dir/HeapVerifier.cpp.o.d"
+  "/root/repo/src/gcache/heap/ObjectModel.cpp" "src/gcache/heap/CMakeFiles/gcache_heap.dir/ObjectModel.cpp.o" "gcc" "src/gcache/heap/CMakeFiles/gcache_heap.dir/ObjectModel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gcache/trace/CMakeFiles/gcache_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/gcache/support/CMakeFiles/gcache_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcache_heap.dir/Heap.cpp.o"
+  "CMakeFiles/gcache_heap.dir/Heap.cpp.o.d"
+  "CMakeFiles/gcache_heap.dir/HeapVerifier.cpp.o"
+  "CMakeFiles/gcache_heap.dir/HeapVerifier.cpp.o.d"
+  "CMakeFiles/gcache_heap.dir/ObjectModel.cpp.o"
+  "CMakeFiles/gcache_heap.dir/ObjectModel.cpp.o.d"
+  "libgcache_heap.a"
+  "libgcache_heap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcache_heap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

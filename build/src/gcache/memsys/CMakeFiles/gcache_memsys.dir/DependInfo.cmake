@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gcache/memsys/Cache.cpp" "src/gcache/memsys/CMakeFiles/gcache_memsys.dir/Cache.cpp.o" "gcc" "src/gcache/memsys/CMakeFiles/gcache_memsys.dir/Cache.cpp.o.d"
+  "/root/repo/src/gcache/memsys/CacheBank.cpp" "src/gcache/memsys/CMakeFiles/gcache_memsys.dir/CacheBank.cpp.o" "gcc" "src/gcache/memsys/CMakeFiles/gcache_memsys.dir/CacheBank.cpp.o.d"
+  "/root/repo/src/gcache/memsys/CacheConfig.cpp" "src/gcache/memsys/CMakeFiles/gcache_memsys.dir/CacheConfig.cpp.o" "gcc" "src/gcache/memsys/CMakeFiles/gcache_memsys.dir/CacheConfig.cpp.o.d"
+  "/root/repo/src/gcache/memsys/MemoryTiming.cpp" "src/gcache/memsys/CMakeFiles/gcache_memsys.dir/MemoryTiming.cpp.o" "gcc" "src/gcache/memsys/CMakeFiles/gcache_memsys.dir/MemoryTiming.cpp.o.d"
+  "/root/repo/src/gcache/memsys/MultiLevelCache.cpp" "src/gcache/memsys/CMakeFiles/gcache_memsys.dir/MultiLevelCache.cpp.o" "gcc" "src/gcache/memsys/CMakeFiles/gcache_memsys.dir/MultiLevelCache.cpp.o.d"
+  "/root/repo/src/gcache/memsys/Overhead.cpp" "src/gcache/memsys/CMakeFiles/gcache_memsys.dir/Overhead.cpp.o" "gcc" "src/gcache/memsys/CMakeFiles/gcache_memsys.dir/Overhead.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gcache/trace/CMakeFiles/gcache_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/gcache/support/CMakeFiles/gcache_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcache_memsys.dir/Cache.cpp.o"
+  "CMakeFiles/gcache_memsys.dir/Cache.cpp.o.d"
+  "CMakeFiles/gcache_memsys.dir/CacheBank.cpp.o"
+  "CMakeFiles/gcache_memsys.dir/CacheBank.cpp.o.d"
+  "CMakeFiles/gcache_memsys.dir/CacheConfig.cpp.o"
+  "CMakeFiles/gcache_memsys.dir/CacheConfig.cpp.o.d"
+  "CMakeFiles/gcache_memsys.dir/MemoryTiming.cpp.o"
+  "CMakeFiles/gcache_memsys.dir/MemoryTiming.cpp.o.d"
+  "CMakeFiles/gcache_memsys.dir/MultiLevelCache.cpp.o"
+  "CMakeFiles/gcache_memsys.dir/MultiLevelCache.cpp.o.d"
+  "CMakeFiles/gcache_memsys.dir/Overhead.cpp.o"
+  "CMakeFiles/gcache_memsys.dir/Overhead.cpp.o.d"
+  "libgcache_memsys.a"
+  "libgcache_memsys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcache_memsys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gcache/support/Options.cpp" "src/gcache/support/CMakeFiles/gcache_support.dir/Options.cpp.o" "gcc" "src/gcache/support/CMakeFiles/gcache_support.dir/Options.cpp.o.d"
+  "/root/repo/src/gcache/support/Stats.cpp" "src/gcache/support/CMakeFiles/gcache_support.dir/Stats.cpp.o" "gcc" "src/gcache/support/CMakeFiles/gcache_support.dir/Stats.cpp.o.d"
+  "/root/repo/src/gcache/support/Table.cpp" "src/gcache/support/CMakeFiles/gcache_support.dir/Table.cpp.o" "gcc" "src/gcache/support/CMakeFiles/gcache_support.dir/Table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcache_support.dir/Options.cpp.o"
+  "CMakeFiles/gcache_support.dir/Options.cpp.o.d"
+  "CMakeFiles/gcache_support.dir/Stats.cpp.o"
+  "CMakeFiles/gcache_support.dir/Stats.cpp.o.d"
+  "CMakeFiles/gcache_support.dir/Table.cpp.o"
+  "CMakeFiles/gcache_support.dir/Table.cpp.o.d"
+  "libgcache_support.a"
+  "libgcache_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcache_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

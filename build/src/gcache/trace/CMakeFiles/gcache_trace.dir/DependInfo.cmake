@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gcache/trace/Sinks.cpp" "src/gcache/trace/CMakeFiles/gcache_trace.dir/Sinks.cpp.o" "gcc" "src/gcache/trace/CMakeFiles/gcache_trace.dir/Sinks.cpp.o.d"
+  "/root/repo/src/gcache/trace/TraceFile.cpp" "src/gcache/trace/CMakeFiles/gcache_trace.dir/TraceFile.cpp.o" "gcc" "src/gcache/trace/CMakeFiles/gcache_trace.dir/TraceFile.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gcache/support/CMakeFiles/gcache_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

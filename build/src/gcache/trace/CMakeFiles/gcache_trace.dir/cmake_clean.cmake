@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcache_trace.dir/Sinks.cpp.o"
+  "CMakeFiles/gcache_trace.dir/Sinks.cpp.o.d"
+  "CMakeFiles/gcache_trace.dir/TraceFile.cpp.o"
+  "CMakeFiles/gcache_trace.dir/TraceFile.cpp.o.d"
+  "libgcache_trace.a"
+  "libgcache_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcache_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gcache/vm/Bytecode.cpp" "src/gcache/vm/CMakeFiles/gcache_vm.dir/Bytecode.cpp.o" "gcc" "src/gcache/vm/CMakeFiles/gcache_vm.dir/Bytecode.cpp.o.d"
+  "/root/repo/src/gcache/vm/Compiler.cpp" "src/gcache/vm/CMakeFiles/gcache_vm.dir/Compiler.cpp.o" "gcc" "src/gcache/vm/CMakeFiles/gcache_vm.dir/Compiler.cpp.o.d"
+  "/root/repo/src/gcache/vm/Primitives.cpp" "src/gcache/vm/CMakeFiles/gcache_vm.dir/Primitives.cpp.o" "gcc" "src/gcache/vm/CMakeFiles/gcache_vm.dir/Primitives.cpp.o.d"
+  "/root/repo/src/gcache/vm/SchemeSystem.cpp" "src/gcache/vm/CMakeFiles/gcache_vm.dir/SchemeSystem.cpp.o" "gcc" "src/gcache/vm/CMakeFiles/gcache_vm.dir/SchemeSystem.cpp.o.d"
+  "/root/repo/src/gcache/vm/Sexpr.cpp" "src/gcache/vm/CMakeFiles/gcache_vm.dir/Sexpr.cpp.o" "gcc" "src/gcache/vm/CMakeFiles/gcache_vm.dir/Sexpr.cpp.o.d"
+  "/root/repo/src/gcache/vm/VM.cpp" "src/gcache/vm/CMakeFiles/gcache_vm.dir/VM.cpp.o" "gcc" "src/gcache/vm/CMakeFiles/gcache_vm.dir/VM.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gcache/gc/CMakeFiles/gcache_gc.dir/DependInfo.cmake"
+  "/root/repo/build/src/gcache/heap/CMakeFiles/gcache_heap.dir/DependInfo.cmake"
+  "/root/repo/build/src/gcache/trace/CMakeFiles/gcache_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/gcache/support/CMakeFiles/gcache_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

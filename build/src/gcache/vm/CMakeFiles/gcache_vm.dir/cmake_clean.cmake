@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcache_vm.dir/Bytecode.cpp.o"
+  "CMakeFiles/gcache_vm.dir/Bytecode.cpp.o.d"
+  "CMakeFiles/gcache_vm.dir/Compiler.cpp.o"
+  "CMakeFiles/gcache_vm.dir/Compiler.cpp.o.d"
+  "CMakeFiles/gcache_vm.dir/Primitives.cpp.o"
+  "CMakeFiles/gcache_vm.dir/Primitives.cpp.o.d"
+  "CMakeFiles/gcache_vm.dir/SchemeSystem.cpp.o"
+  "CMakeFiles/gcache_vm.dir/SchemeSystem.cpp.o.d"
+  "CMakeFiles/gcache_vm.dir/Sexpr.cpp.o"
+  "CMakeFiles/gcache_vm.dir/Sexpr.cpp.o.d"
+  "CMakeFiles/gcache_vm.dir/VM.cpp.o"
+  "CMakeFiles/gcache_vm.dir/VM.cpp.o.d"
+  "libgcache_vm.a"
+  "libgcache_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcache_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

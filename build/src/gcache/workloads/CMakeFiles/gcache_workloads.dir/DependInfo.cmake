@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gcache/workloads/Gambit.cpp" "src/gcache/workloads/CMakeFiles/gcache_workloads.dir/Gambit.cpp.o" "gcc" "src/gcache/workloads/CMakeFiles/gcache_workloads.dir/Gambit.cpp.o.d"
+  "/root/repo/src/gcache/workloads/Imps.cpp" "src/gcache/workloads/CMakeFiles/gcache_workloads.dir/Imps.cpp.o" "gcc" "src/gcache/workloads/CMakeFiles/gcache_workloads.dir/Imps.cpp.o.d"
+  "/root/repo/src/gcache/workloads/Lp.cpp" "src/gcache/workloads/CMakeFiles/gcache_workloads.dir/Lp.cpp.o" "gcc" "src/gcache/workloads/CMakeFiles/gcache_workloads.dir/Lp.cpp.o.d"
+  "/root/repo/src/gcache/workloads/Nbody.cpp" "src/gcache/workloads/CMakeFiles/gcache_workloads.dir/Nbody.cpp.o" "gcc" "src/gcache/workloads/CMakeFiles/gcache_workloads.dir/Nbody.cpp.o.d"
+  "/root/repo/src/gcache/workloads/Orbit.cpp" "src/gcache/workloads/CMakeFiles/gcache_workloads.dir/Orbit.cpp.o" "gcc" "src/gcache/workloads/CMakeFiles/gcache_workloads.dir/Orbit.cpp.o.d"
+  "/root/repo/src/gcache/workloads/Workloads.cpp" "src/gcache/workloads/CMakeFiles/gcache_workloads.dir/Workloads.cpp.o" "gcc" "src/gcache/workloads/CMakeFiles/gcache_workloads.dir/Workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gcache/support/CMakeFiles/gcache_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcache_workloads.dir/Gambit.cpp.o"
+  "CMakeFiles/gcache_workloads.dir/Gambit.cpp.o.d"
+  "CMakeFiles/gcache_workloads.dir/Imps.cpp.o"
+  "CMakeFiles/gcache_workloads.dir/Imps.cpp.o.d"
+  "CMakeFiles/gcache_workloads.dir/Lp.cpp.o"
+  "CMakeFiles/gcache_workloads.dir/Lp.cpp.o.d"
+  "CMakeFiles/gcache_workloads.dir/Nbody.cpp.o"
+  "CMakeFiles/gcache_workloads.dir/Nbody.cpp.o.d"
+  "CMakeFiles/gcache_workloads.dir/Orbit.cpp.o"
+  "CMakeFiles/gcache_workloads.dir/Orbit.cpp.o.d"
+  "CMakeFiles/gcache_workloads.dir/Workloads.cpp.o"
+  "CMakeFiles/gcache_workloads.dir/Workloads.cpp.o.d"
+  "libgcache_workloads.a"
+  "libgcache_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcache_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

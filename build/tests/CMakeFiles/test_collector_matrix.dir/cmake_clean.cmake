@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_collector_matrix.dir/test_collector_matrix.cpp.o"
+  "CMakeFiles/test_collector_matrix.dir/test_collector_matrix.cpp.o.d"
+  "test_collector_matrix"
+  "test_collector_matrix.pdb"
+  "test_collector_matrix[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_collector_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_gc.cpp" "tests/CMakeFiles/test_gc.dir/test_gc.cpp.o" "gcc" "tests/CMakeFiles/test_gc.dir/test_gc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gcache/core/CMakeFiles/gcache_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gcache/vm/CMakeFiles/gcache_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/gcache/gc/CMakeFiles/gcache_gc.dir/DependInfo.cmake"
+  "/root/repo/build/src/gcache/heap/CMakeFiles/gcache_heap.dir/DependInfo.cmake"
+  "/root/repo/build/src/gcache/memsys/CMakeFiles/gcache_memsys.dir/DependInfo.cmake"
+  "/root/repo/build/src/gcache/workloads/CMakeFiles/gcache_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/gcache/analysis/CMakeFiles/gcache_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/gcache/trace/CMakeFiles/gcache_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/gcache/support/CMakeFiles/gcache_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

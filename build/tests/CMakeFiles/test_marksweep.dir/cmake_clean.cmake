@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_marksweep.dir/test_marksweep.cpp.o"
+  "CMakeFiles/test_marksweep.dir/test_marksweep.cpp.o.d"
+  "test_marksweep"
+  "test_marksweep.pdb"
+  "test_marksweep[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_marksweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

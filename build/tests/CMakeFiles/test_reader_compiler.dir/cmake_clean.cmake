@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reader_compiler.dir/test_reader_compiler.cpp.o"
+  "CMakeFiles/test_reader_compiler.dir/test_reader_compiler.cpp.o.d"
+  "test_reader_compiler"
+  "test_reader_compiler.pdb"
+  "test_reader_compiler[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reader_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vm_eval.dir/test_vm_eval.cpp.o"
+  "CMakeFiles/test_vm_eval.dir/test_vm_eval.cpp.o.d"
+  "test_vm_eval"
+  "test_vm_eval.pdb"
+  "test_vm_eval[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vm_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
