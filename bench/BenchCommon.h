@@ -10,6 +10,9 @@
 ///   --scale S    workload scale factor (default 0.3; GCACHE_SCALE env)
 ///   --csv        emit CSV instead of aligned tables where applicable
 ///   --workload W restrict to one program where applicable
+///   --threads N  cache-bank worker threads (default 0 = serial;
+///                GCACHE_THREADS env). Counters are bit-identical at any
+///                thread count; see CacheBank::setThreads.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -29,6 +32,7 @@ namespace gcache {
 struct BenchArgs {
   double Scale = 0.3;
   bool Csv = false;
+  unsigned Threads = 0;
   std::string Workload;
   Options Opts;
 };
@@ -38,8 +42,19 @@ inline BenchArgs parseBenchArgs(int Argc, char **Argv) {
   A.Opts = Options::parse(Argc, Argv);
   A.Scale = A.Opts.getDouble("scale", 0.3);
   A.Csv = A.Opts.getBool("csv", false);
+  A.Threads = A.Opts.getUnsigned("threads", 0);
   A.Workload = A.Opts.get("workload", "");
   return A;
+}
+
+/// Baseline per-run options for a bench binary: the workload scale and the
+/// cache-bank thread count from the command line. Binaries layer their
+/// experiment-specific fields (grid, GC, policies) on top.
+inline ExperimentOptions baseExperimentOptions(const BenchArgs &A) {
+  ExperimentOptions Opts;
+  Opts.Scale = A.Scale;
+  Opts.Threads = A.Threads;
+  return Opts;
 }
 
 inline std::vector<const Workload *> selectWorkloads(const BenchArgs &A) {

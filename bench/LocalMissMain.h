@@ -43,8 +43,7 @@ inline int localMissFigureMain(int Argc, char **Argv, const char *Id,
   Config.TrackPerBlockStats = true;
   Cache Sim(Config);
 
-  ExperimentOptions Opts;
-  Opts.Scale = A.Scale;
+  ExperimentOptions Opts = baseExperimentOptions(A);
   Opts.Grid = CacheGridKind::None;
   Opts.ExtraSinks = {&Sim};
   ProgramRun Run = runProgram(*W, Opts);

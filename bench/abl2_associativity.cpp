@@ -39,8 +39,7 @@ int main(int Argc, char **Argv) {
         Bank->addConfig(C);
       }
 
-    ExperimentOptions Opts;
-    Opts.Scale = A.Scale;
+    ExperimentOptions Opts = baseExperimentOptions(A);
     Opts.Grid = CacheGridKind::None;
     Opts.ExtraSinks = {Bank.get()};
     std::printf("running %s...\n", W->Name.c_str());

@@ -20,8 +20,7 @@ int main(int Argc, char **Argv) {
 
   std::vector<ProgramRun> Runs;
   for (const Workload *W : selectWorkloads(A)) {
-    ExperimentOptions Opts;
-    Opts.Scale = A.Scale;
+    ExperimentOptions Opts = baseExperimentOptions(A);
     Opts.Grid = CacheGridKind::PaperGrid;
     Opts.AlsoOppositePolicy = true; // one pass, both policies
     std::printf("running %s...\n", W->Name.c_str());

@@ -26,8 +26,7 @@ int main(int Argc, char **Argv) {
            "O_gc 64kb slow", "O_gc 1mb slow", "O_gc 1mb fast"});
 
   for (const Workload *W : selectWorkloads(A)) {
-    ExperimentOptions Ctrl;
-    Ctrl.Scale = A.Scale;
+    ExperimentOptions Ctrl = baseExperimentOptions(A);
     Ctrl.Grid = CacheGridKind::SizeSweep;
     std::printf("running %s (control)...\n", W->Name.c_str());
     ProgramRun Control = runProgram(*W, Ctrl);

@@ -32,8 +32,7 @@ int main(int Argc, char **Argv) {
     // The hot runtime vector is the VM's first static allocation, so its
     // address is Heap::StaticBase.
     BlockTracker Tracker(64, 64 << 10, Heap::StaticBase);
-    ExperimentOptions Opts;
-    Opts.Scale = A.Scale;
+    ExperimentOptions Opts = baseExperimentOptions(A);
     Opts.Grid = CacheGridKind::None;
     Opts.ExtraSinks = {&Tracker};
     std::printf("running %s...\n", W->Name.c_str());

@@ -46,8 +46,7 @@ int main(int Argc, char **Argv) {
     Cache Single1mb({.SizeBytes = 1 << 20, .BlockBytes = 64});
     Cache Single64kb({.SizeBytes = 64 << 10, .BlockBytes = 32});
 
-    ExperimentOptions O;
-    O.Scale = A.Scale;
+    ExperimentOptions O = baseExperimentOptions(A);
     O.Grid = CacheGridKind::None;
     for (auto &L : Levels)
       O.ExtraSinks.push_back(L.get());

@@ -37,8 +37,7 @@ int main(int Argc, char **Argv) {
     double Lo = 1e9, Hi = 0;
     for (int S = 0; S != Seeds; ++S) {
       Cache Sim({.SizeBytes = 64 << 10, .BlockBytes = 64});
-      ExperimentOptions O;
-      O.Scale = A.Scale;
+      ExperimentOptions O = baseExperimentOptions(A);
       O.Grid = CacheGridKind::None;
       O.LayoutSeed = S == 0 ? 0 : static_cast<uint64_t>(S) * 7919;
       O.ExtraSinks = {&Sim};

@@ -57,8 +57,7 @@ int main(int Argc, char **Argv) {
            "GCs", "O_cache 64kb slow", "total ovh 64kb fast"});
 
   for (const Workload *W : selectWorkloads(A)) {
-    ExperimentOptions Ctrl;
-    Ctrl.Scale = A.Scale;
+    ExperimentOptions Ctrl = baseExperimentOptions(A);
     Ctrl.Grid = CacheGridKind::None;
     ProgramRun Probe = runProgram(*W, Ctrl);
     uint32_t Semi = semispaceFor(Probe);

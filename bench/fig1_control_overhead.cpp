@@ -29,8 +29,7 @@ int main(int Argc, char **Argv) {
   std::vector<const Workload *> Ws = selectWorkloads(A);
   std::vector<ProgramRun> Runs;
   for (const Workload *W : Ws) {
-    ExperimentOptions Opts;
-    Opts.Scale = A.Scale;
+    ExperimentOptions Opts = baseExperimentOptions(A);
     Opts.Grid = CacheGridKind::PaperGrid;
     std::printf("running %s...\n", W->Name.c_str());
     Runs.push_back(runProgram(*W, Opts));

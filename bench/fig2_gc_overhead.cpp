@@ -31,8 +31,7 @@ int main(int Argc, char **Argv) {
   std::vector<const Workload *> Ws = selectWorkloads(A);
   std::vector<ProgramRun> Controls, GcRuns;
   for (const Workload *W : Ws) {
-    ExperimentOptions Ctrl;
-    Ctrl.Scale = A.Scale;
+    ExperimentOptions Ctrl = baseExperimentOptions(A);
     Ctrl.Grid = CacheGridKind::SizeSweep;
     std::printf("running %s (control)...\n", W->Name.c_str());
     Controls.push_back(runProgram(*W, Ctrl));

@@ -33,8 +33,7 @@ int main(int Argc, char **Argv) {
   Config.BlockBytes = 64;
   MissPlot Plot(Config);
 
-  ExperimentOptions Opts;
-  Opts.Scale = A.Scale;
+  ExperimentOptions Opts = baseExperimentOptions(A);
   Opts.Grid = CacheGridKind::None;
   Opts.ExtraSinks = {&Plot};
   ProgramRun Run = runProgram(*W, Opts);

@@ -37,8 +37,7 @@ int main(int Argc, char **Argv) {
 
   for (const Workload *W : selectWorkloads(A)) {
     BlockTracker Tracker(64, 64 << 10);
-    ExperimentOptions Opts;
-    Opts.Scale = A.Scale;
+    ExperimentOptions Opts = baseExperimentOptions(A);
     Opts.Grid = CacheGridKind::None;
     Opts.ExtraSinks = {&Tracker};
     std::printf("running %s...\n", W->Name.c_str());

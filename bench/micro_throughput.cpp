@@ -2,17 +2,21 @@
 //
 // Throughput of the simulation substrates themselves (not a paper
 // artefact): cache-simulator accesses/s for sequential and random
-// streams, VM instructions/s, and Cheney copy bandwidth. Useful for
-// sizing --scale against a time budget.
+// streams, serial vs. parallel paper-grid bank refs/s, VM
+// instructions/s, and Cheney copy bandwidth. Useful for sizing --scale
+// against a time budget and --threads against the machine.
 //
 //===----------------------------------------------------------------------===//
 
 #include "gcache/gc/CheneyCollector.h"
 #include "gcache/memsys/Cache.h"
+#include "gcache/memsys/CacheBank.h"
 #include "gcache/support/Random.h"
 #include "gcache/vm/SchemeSystem.h"
 
 #include <benchmark/benchmark.h>
+
+#include <vector>
 
 using namespace gcache;
 
@@ -44,6 +48,46 @@ static void BM_CacheRandomLoads(benchmark::State &State) {
   State.SetItemsProcessed(State.iterations());
 }
 BENCHMARK(BM_CacheRandomLoads)->Arg(64 << 10)->Arg(4 << 20);
+
+// The workload every experiment pays for: one reference stream feeding the
+// full §4 paper grid. Arg(0) is the serial bank; Arg(N) runs N shard
+// workers (see CacheBank::setThreads — counters are identical either way,
+// so refs/s is the only thing that changes). items_per_second is the
+// measure the acceptance docs quote.
+static void BM_BankPaperGrid(benchmark::State &State) {
+  CacheBank Bank;
+  Bank.addPaperGrid(CacheConfig{});
+  Bank.setThreads(static_cast<unsigned>(State.range(0)));
+  // A young-heap-shaped stream: sequential allocation-style stores mixed
+  // with random re-reads over a 16 MB window.
+  std::vector<Ref> Stream;
+  Stream.reserve(1 << 18);
+  Rng R(7);
+  Address Frontier = Heap::DynamicBase;
+  for (size_t I = 0; I != Stream.capacity(); ++I) {
+    if (I % 4 != 3) {
+      Stream.push_back({Frontier, AccessKind::Store, Phase::Mutator});
+      Frontier += 4;
+    } else {
+      Address A = Heap::DynamicBase +
+                  (static_cast<Address>(R.below(1u << 24)) & ~3u);
+      Stream.push_back({A, AccessKind::Load, Phase::Mutator});
+    }
+  }
+  for (auto _ : State) {
+    for (const Ref &Ref_ : Stream)
+      Bank.onRef(Ref_);
+    Bank.flush();
+  }
+  State.SetItemsProcessed(State.iterations() *
+                          static_cast<int64_t>(Stream.size()));
+}
+BENCHMARK(BM_BankPaperGrid)
+    ->Arg(0)
+    ->Arg(2)
+    ->Arg(4)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 static void BM_VmFibonacci(benchmark::State &State) {
   SchemeSystemConfig C;

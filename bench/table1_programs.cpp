@@ -29,8 +29,7 @@ int main(int Argc, char **Argv) {
   Table T({"program", "lines", "alloc", "insns", "refs", "refs/insn",
            "static"});
   for (const Workload *W : selectWorkloads(A)) {
-    ExperimentOptions Opts;
-    Opts.Scale = A.Scale;
+    ExperimentOptions Opts = baseExperimentOptions(A);
     Opts.Grid = CacheGridKind::None;
     ProgramRun Run = runProgram(*W, Opts);
     T.addRow({W->Name, std::to_string(sourceLineCount(W->Definitions)),

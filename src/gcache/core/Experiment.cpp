@@ -44,6 +44,7 @@ ProgramRun gcache::runProgram(const Workload &W,
     else if (Opts.Grid == CacheGridKind::SizeSweep)
       Bank->addSizeSweep(Opposite, Opts.SweepBlockBytes);
   }
+  Bank->setThreads(Opts.Threads);
 
   CountingSink Counts;
   TraceBus Bus;
@@ -65,6 +66,11 @@ ProgramRun gcache::runProgram(const Workload &W,
 
   Sys.loadDefinitions(W.Definitions);
   Sys.run(W.RunExpr(Opts.Scale));
+
+  // Drain the shard workers and return the bank in serial mode so that
+  // callers can read counters (and keep feeding it) without further
+  // synchronization.
+  Bank->setThreads(0);
 
   Run.Stats = Sys.lastRunStats();
   Run.TotalRefs = Counts.totalRefs();

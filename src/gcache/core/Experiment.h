@@ -62,6 +62,9 @@ struct ExperimentOptions {
   std::vector<TraceSink *> ExtraSinks;
   /// Static-layout scatter seed (0 = default layout); see ext2_layout.
   uint64_t LayoutSeed = 0;
+  /// Worker threads for the cache bank (0 = serial). Results are
+  /// bit-identical across thread counts; see CacheBank::setThreads.
+  unsigned Threads = 0;
 
   /// Effective semispace size after scaling.
   uint32_t effectiveSemispace() const;

@@ -2,9 +2,19 @@
 
 #include "gcache/memsys/CacheBank.h"
 
+#include <cassert>
+
 using namespace gcache;
 
+CacheBank::~CacheBank() {
+  // ShardPool's destructor drains its queues before joining, so any
+  // still-buffered references are published and simulated first.
+  if (Pool)
+    publish();
+}
+
 size_t CacheBank::addConfig(const CacheConfig &Config) {
+  assert(!Pool && "add all configs before setThreads()");
   Caches.push_back(std::make_unique<Cache>(Config));
   return Caches.size() - 1;
 }
@@ -29,6 +39,36 @@ void CacheBank::addSizeSweep(const CacheConfig &Prototype,
   }
 }
 
+void CacheBank::setThreads(unsigned Threads, size_t BatchRefsWanted) {
+  flush();
+  Pool.reset();
+  BatchRefs = BatchRefsWanted ? BatchRefsWanted : DefaultBatchRefs;
+  if (Threads == 0 || Caches.empty())
+    return;
+  std::vector<Cache *> Raw;
+  Raw.reserve(Caches.size());
+  for (auto &C : Caches)
+    Raw.push_back(C.get());
+  Pool = std::make_unique<ShardPool>(Raw, Threads);
+  Pending.reserve(BatchRefs);
+}
+
+void CacheBank::publish() {
+  if (Pending.empty())
+    return;
+  auto Batch = std::make_shared<RefBatch>(std::move(Pending));
+  Pending = RefBatch();
+  Pending.reserve(BatchRefs);
+  Pool->submit(std::move(Batch));
+}
+
+void CacheBank::flush() {
+  if (!Pool)
+    return;
+  publish();
+  Pool->drain();
+}
+
 const Cache *CacheBank::find(uint32_t SizeBytes, uint32_t BlockBytes) const {
   for (const auto &C : Caches)
     if (C->config().SizeBytes == SizeBytes &&
@@ -38,6 +78,7 @@ const Cache *CacheBank::find(uint32_t SizeBytes, uint32_t BlockBytes) const {
 }
 
 void CacheBank::resetAll() {
+  flush();
   for (auto &C : Caches)
     C->reset();
 }

@@ -13,22 +13,41 @@
 /// valid because the cache configuration never influences the reference
 /// stream (program and collector behaviour are cache-independent).
 ///
+/// The same property makes the bank embarrassingly parallel: setThreads()
+/// switches it to a threaded mode in which references accumulate into
+/// fixed-size batches and a ShardPool of workers — each owning a disjoint
+/// shard of the caches — consumes every batch in order. Each cache still
+/// sees the exact serial reference stream, so every counter is
+/// deterministic and bit-identical to the single-threaded result; see
+/// tests/test_parallel_bank.cpp for the equivalence proof. In threaded
+/// mode, call flush() before reading any cache's counters.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef GCACHE_MEMSYS_CACHEBANK_H
 #define GCACHE_MEMSYS_CACHEBANK_H
 
 #include "gcache/memsys/Cache.h"
+#include "gcache/memsys/ShardPool.h"
 
 #include <memory>
 #include <vector>
 
 namespace gcache {
 
-/// Owns a set of caches and feeds each reference to all of them.
+/// Owns a set of caches and feeds each reference to all of them, either
+/// serially (the default) or via a pool of shard workers.
 class CacheBank final : public TraceSink {
 public:
-  /// Adds a cache with the given configuration; returns its index.
+  /// References per published batch in threaded mode. Large enough to
+  /// amortize queue synchronization, small enough that a batch of Refs
+  /// (8 bytes each) stays cache- and memory-friendly.
+  static constexpr size_t DefaultBatchRefs = 64 * 1024;
+
+  ~CacheBank() override;
+
+  /// Adds a cache with the given configuration; returns its index. Add
+  /// all configurations before calling setThreads().
   size_t addConfig(const CacheConfig &Config);
 
   /// Adds the full §4 grid: every paper cache size crossed with every
@@ -39,10 +58,38 @@ public:
   /// experiment uses 64-byte blocks across all sizes).
   void addSizeSweep(const CacheConfig &Prototype, uint32_t BlockBytes);
 
+  /// Switches between serial (\p Threads == 0) and threaded execution
+  /// with \p Threads shard workers. Drains any buffered work first, then
+  /// re-shards the current cache list, so it may be called between runs;
+  /// counters are unaffected. \p BatchRefs tunes the batch size (tests
+  /// use small batches to force multi-batch streams).
+  void setThreads(unsigned Threads, size_t BatchRefs = DefaultBatchRefs);
+
+  /// Number of worker threads (0 = serial mode).
+  unsigned threads() const { return Pool ? Pool->threads() : 0; }
+
+  /// Publishes any buffered references and waits until the workers have
+  /// simulated everything. Required before reading counters in threaded
+  /// mode; a no-op in serial mode.
+  void flush();
+
   void onRef(const Ref &R) override {
-    for (auto &C : Caches)
-      (void)C->access(R);
+    if (!Pool) {
+      for (auto &C : Caches)
+        (void)C->access(R);
+      return;
+    }
+    Pending.push_back(R);
+    if (Pending.size() >= BatchRefs)
+      publish();
   }
+
+  /// Phase boundaries flush so that, at every point a collection starts
+  /// or ends, the bank is in exactly the state a serial run would be in —
+  /// the §6 accounting (gcInputsFor) and any phase-boundary readers see
+  /// unchanged numbers.
+  void onGcBegin() override { flush(); }
+  void onGcEnd() override { flush(); }
 
   size_t size() const { return Caches.size(); }
   Cache &cache(size_t I) { return *Caches[I]; }
@@ -51,11 +98,16 @@ public:
   /// Finds the cache with the given geometry; returns nullptr if absent.
   const Cache *find(uint32_t SizeBytes, uint32_t BlockBytes) const;
 
-  /// Resets every cache in the bank.
+  /// Resets every cache in the bank (drains the workers first).
   void resetAll();
 
 private:
+  void publish();
+
   std::vector<std::unique_ptr<Cache>> Caches;
+  std::unique_ptr<ShardPool> Pool;
+  RefBatch Pending;
+  size_t BatchRefs = DefaultBatchRefs;
 };
 
 } // namespace gcache

@@ -1,0 +1,67 @@
+//===- ShardPool.cpp - Worker threads for the parallel cache bank ----------===//
+
+#include "gcache/memsys/ShardPool.h"
+
+#include "gcache/memsys/Cache.h"
+
+#include <algorithm>
+
+using namespace gcache;
+
+ShardPool::ShardPool(const std::vector<Cache *> &Caches, unsigned ThreadCount) {
+  unsigned N = std::min<unsigned>(std::max(ThreadCount, 1u),
+                                  static_cast<unsigned>(Caches.size()));
+  Workers.resize(N);
+  for (size_t I = 0; I != Caches.size(); ++I)
+    Workers[I % N].Shard.push_back(Caches[I]);
+  for (Worker &W : Workers)
+    Threads.emplace_back([this, &W] { workerLoop(W); });
+}
+
+ShardPool::~ShardPool() {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Stopping = true;
+  }
+  WorkReady.notify_all();
+  for (std::thread &T : Threads)
+    T.join();
+}
+
+void ShardPool::submit(std::shared_ptr<const RefBatch> Batch) {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    for (Worker &W : Workers)
+      W.Queue.push_back(Batch);
+    Outstanding += Workers.size();
+  }
+  WorkReady.notify_all();
+}
+
+void ShardPool::drain() {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  AllIdle.wait(Lock, [this] { return Outstanding == 0; });
+}
+
+void ShardPool::workerLoop(Worker &W) {
+  for (;;) {
+    std::shared_ptr<const RefBatch> Batch;
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      WorkReady.wait(Lock, [this, &W] { return Stopping || !W.Queue.empty(); });
+      if (W.Queue.empty())
+        return; // Stopping and fully drained.
+      Batch = std::move(W.Queue.front());
+      W.Queue.pop_front();
+    }
+    for (const Ref &R : *Batch)
+      for (Cache *C : W.Shard)
+        (void)C->access(R);
+    Batch.reset();
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      if (--Outstanding == 0)
+        AllIdle.notify_all();
+    }
+  }
+}

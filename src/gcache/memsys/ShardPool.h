@@ -1,0 +1,82 @@
+//===- ShardPool.h - Worker threads for the parallel cache bank -*- C++ -*-===//
+//
+// Part of the gcache project (Reinhold, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The worker pool behind CacheBank's threaded mode. Each worker owns a
+/// disjoint shard of the bank's caches; the bank publishes fixed-size
+/// batches of references and every worker consumes every batch, in
+/// publication order, against its own shard. Because each cache belongs to
+/// exactly one worker and each worker drains its queue FIFO, every cache
+/// observes the exact serial reference stream: all counters are
+/// deterministic and bit-identical to single-threaded simulation. This is
+/// sound for the same reason the one-pass bank itself is (see CacheBank.h):
+/// the reference stream never depends on any cache's state.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCACHE_MEMSYS_SHARDPOOL_H
+#define GCACHE_MEMSYS_SHARDPOOL_H
+
+#include "gcache/trace/Event.h"
+
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gcache {
+
+class Cache;
+
+/// A batch of references, shared read-only by all workers.
+using RefBatch = std::vector<Ref>;
+
+/// Fixed set of worker threads, each simulating a disjoint shard of caches.
+class ShardPool {
+public:
+  /// Spins up min(\p Threads, Caches.size()) workers over \p Caches,
+  /// assigned round-robin so large and small caches spread evenly across
+  /// shards.
+  ShardPool(const std::vector<Cache *> &Caches, unsigned Threads);
+
+  /// Drains all queued work, then joins the workers.
+  ~ShardPool();
+
+  ShardPool(const ShardPool &) = delete;
+  ShardPool &operator=(const ShardPool &) = delete;
+
+  unsigned threads() const { return static_cast<unsigned>(Workers.size()); }
+
+  /// Enqueues \p Batch on every worker. Batches are simulated in
+  /// submission order within each shard.
+  void submit(std::shared_ptr<const RefBatch> Batch);
+
+  /// Blocks until every submitted batch has been fully simulated.
+  void drain();
+
+private:
+  struct Worker {
+    std::vector<Cache *> Shard;
+    std::deque<std::shared_ptr<const RefBatch>> Queue;
+  };
+
+  void workerLoop(Worker &W);
+
+  std::mutex Mutex;
+  std::condition_variable WorkReady;
+  std::condition_variable AllIdle;
+  /// (batch, worker) pairs submitted but not yet fully simulated.
+  uint64_t Outstanding = 0;
+  bool Stopping = false;
+  std::vector<Worker> Workers;
+  std::vector<std::thread> Threads;
+};
+
+} // namespace gcache
+
+#endif // GCACHE_MEMSYS_SHARDPOOL_H

@@ -100,10 +100,68 @@ TraceWriter::~TraceWriter() {
     close();
 }
 
+namespace {
+/// Parses the record stream that follows the header, dispatching each
+/// event to \p Sink when non-null. Returns the number of records parsed,
+/// or -1 if the stream is malformed (unknown opcode, mid-record EOF, or a
+/// record count that disagrees with the header).
+int64_t scanRecords(FILE *File, uint64_t Expected, TraceSink *Sink) {
+  uint64_t Seen = 0;
+  uint8_t Buf[9];
+  for (;;) {
+    size_t N = std::fread(Buf, 1, 5, File);
+    if (N == 0)
+      break; // clean end of stream
+    if (N != 5)
+      return -1; // EOF in the middle of a record
+    uint32_t A = get32(Buf + 1);
+    switch (Buf[0]) {
+    case OpLoadMut:
+      if (Sink)
+        Sink->onRef({A, AccessKind::Load, Phase::Mutator});
+      break;
+    case OpStoreMut:
+      if (Sink)
+        Sink->onRef({A, AccessKind::Store, Phase::Mutator});
+      break;
+    case OpLoadGc:
+      if (Sink)
+        Sink->onRef({A, AccessKind::Load, Phase::Collector});
+      break;
+    case OpStoreGc:
+      if (Sink)
+        Sink->onRef({A, AccessKind::Store, Phase::Collector});
+      break;
+    case OpAlloc:
+      if (std::fread(Buf + 5, 1, 4, File) != 4)
+        return -1; // EOF in the middle of the size payload
+      if (Sink)
+        Sink->onAlloc(A, get32(Buf + 5));
+      break;
+    case OpGcBegin:
+      if (Sink)
+        Sink->onGcBegin();
+      break;
+    case OpGcEnd:
+      if (Sink)
+        Sink->onGcEnd();
+      break;
+    default:
+      return -1; // unknown opcode
+    }
+    ++Seen;
+  }
+  if (Seen != Expected)
+    return -1;
+  return static_cast<int64_t>(Seen);
+}
+} // namespace
+
 int64_t TraceReader::replay(const std::string &Path, TraceSink &Sink) {
   FILE *File = std::fopen(Path.c_str(), "rb");
   if (!File)
     return -1;
+  std::setvbuf(File, nullptr, _IOFBF, 1u << 20);
   uint8_t Header[16];
   if (std::fread(Header, 1, sizeof(Header), File) != sizeof(Header) ||
       std::memcmp(Header, Magic, 4) != 0 || get32(Header + 4) != Version) {
@@ -112,45 +170,14 @@ int64_t TraceReader::replay(const std::string &Path, TraceSink &Sink) {
   }
   uint64_t Expected = static_cast<uint64_t>(get32(Header + 8)) |
                       (static_cast<uint64_t>(get32(Header + 12)) << 32);
-  uint64_t Seen = 0;
-  uint8_t Buf[9];
-  while (std::fread(Buf, 1, 5, File) == 5) {
-    uint32_t A = get32(Buf + 1);
-    switch (Buf[0]) {
-    case OpLoadMut:
-      Sink.onRef({A, AccessKind::Load, Phase::Mutator});
-      break;
-    case OpStoreMut:
-      Sink.onRef({A, AccessKind::Store, Phase::Mutator});
-      break;
-    case OpLoadGc:
-      Sink.onRef({A, AccessKind::Load, Phase::Collector});
-      break;
-    case OpStoreGc:
-      Sink.onRef({A, AccessKind::Store, Phase::Collector});
-      break;
-    case OpAlloc: {
-      if (std::fread(Buf + 5, 1, 4, File) != 4) {
-        std::fclose(File);
-        return -1;
-      }
-      Sink.onAlloc(A, get32(Buf + 5));
-      break;
-    }
-    case OpGcBegin:
-      Sink.onGcBegin();
-      break;
-    case OpGcEnd:
-      Sink.onGcEnd();
-      break;
-    default:
-      std::fclose(File);
-      return -1;
-    }
-    ++Seen;
-  }
-  std::fclose(File);
-  if (Seen != Expected)
+  // Validate the whole file before dispatching a single event, so that a
+  // malformed trace never partially mutates the sink.
+  if (scanRecords(File, Expected, nullptr) < 0 ||
+      std::fseek(File, sizeof(Header), SEEK_SET) != 0) {
+    std::fclose(File);
     return -1;
-  return static_cast<int64_t>(Seen);
+  }
+  int64_t Replayed = scanRecords(File, Expected, &Sink);
+  std::fclose(File);
+  return Replayed;
 }

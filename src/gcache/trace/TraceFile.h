@@ -57,7 +57,10 @@ private:
 class TraceReader {
 public:
   /// Reads \p Path and replays every event into \p Sink. Returns the number
-  /// of records replayed, or -1 on open/format error.
+  /// of records replayed, or -1 on open/format error (bad magic, wrong
+  /// version, unknown opcode, truncation, or a header record count that
+  /// disagrees with the stream). The file is validated in full before the
+  /// first event is dispatched, so on error the sink is never mutated.
   static int64_t replay(const std::string &Path, TraceSink &Sink);
 };
 

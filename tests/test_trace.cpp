@@ -1,11 +1,13 @@
 //===- test_trace.cpp - Trace event and sink unit tests -----------------------===//
 
+#include "gcache/core/Experiment.h"
 #include "gcache/trace/Sinks.h"
 #include "gcache/trace/TraceFile.h"
 
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 #include <vector>
 
 using namespace gcache;
@@ -109,6 +111,88 @@ TEST(TraceFile, RejectsCorruptHeader) {
   std::remove(Path.c_str());
 }
 
+namespace {
+/// Writes raw bytes as a trace file for malformed-input tests.
+void writeRaw(const std::string &Path, const std::vector<uint8_t> &Bytes) {
+  FILE *F = fopen(Path.c_str(), "wb");
+  ASSERT_NE(F, nullptr);
+  ASSERT_EQ(fwrite(Bytes.data(), 1, Bytes.size(), F), Bytes.size());
+  fclose(F);
+}
+
+/// A valid header claiming \p Records records, with \p Version.
+std::vector<uint8_t> header(uint32_t Records, uint32_t Version = 1) {
+  std::vector<uint8_t> H(16, 0);
+  std::memcpy(H.data(), "GCTR", 4);
+  H[4] = static_cast<uint8_t>(Version);
+  H[8] = static_cast<uint8_t>(Records);
+  return H;
+}
+
+/// Expects replay of \p Bytes to fail with -1 and to leave the sink
+/// completely untouched (no partial event delivery before the error).
+void expectRejectedWithoutSinkMutation(const char *Name,
+                                       const std::vector<uint8_t> &Bytes) {
+  std::string Path =
+      std::string(::testing::TempDir()) + "/" + Name + ".gct";
+  writeRaw(Path, Bytes);
+  CountingSink S;
+  EXPECT_EQ(TraceReader::replay(Path, S), -1) << Name;
+  EXPECT_EQ(S.totalRefs(), 0u) << Name;
+  EXPECT_EQ(S.allocatedBytes(), 0u) << Name;
+  EXPECT_EQ(S.collections(), 0u) << Name;
+  std::remove(Path.c_str());
+}
+} // namespace
+
+TEST(TraceFile, RejectsTruncatedHeader) {
+  std::vector<uint8_t> Bytes = header(0);
+  Bytes.resize(8); // header cut in half
+  expectRejectedWithoutSinkMutation("trunc_header", Bytes);
+}
+
+TEST(TraceFile, RejectsBadMagic) {
+  std::vector<uint8_t> Bytes = header(0);
+  Bytes[0] = 'X';
+  expectRejectedWithoutSinkMutation("bad_magic", Bytes);
+}
+
+TEST(TraceFile, RejectsWrongVersion) {
+  expectRejectedWithoutSinkMutation("bad_version", header(0, /*Version=*/2));
+}
+
+TEST(TraceFile, RejectsMidRecordEofWithoutMutatingSink) {
+  // Two refs promised; the second record is cut after 3 of its 5 bytes.
+  // The valid first ref must NOT reach the sink.
+  std::vector<uint8_t> Bytes = header(2);
+  Bytes.insert(Bytes.end(), {0 /*OpLoadMut*/, 0x00, 0x10, 0x00, 0x00});
+  Bytes.insert(Bytes.end(), {1 /*OpStoreMut*/, 0x04, 0x10});
+  expectRejectedWithoutSinkMutation("mid_record_eof", Bytes);
+}
+
+TEST(TraceFile, RejectsTruncatedAllocPayload) {
+  // An alloc record missing two bytes of its 4-byte size payload, after a
+  // valid ref that must not leak into the sink.
+  std::vector<uint8_t> Bytes = header(2);
+  Bytes.insert(Bytes.end(), {0 /*OpLoadMut*/, 0x00, 0x10, 0x00, 0x00});
+  Bytes.insert(Bytes.end(), {4 /*OpAlloc*/, 0x00, 0x20, 0x00, 0x00, 0x40});
+  expectRejectedWithoutSinkMutation("trunc_alloc", Bytes);
+}
+
+TEST(TraceFile, RejectsUnknownOpcodeWithoutMutatingSink) {
+  std::vector<uint8_t> Bytes = header(2);
+  Bytes.insert(Bytes.end(), {0 /*OpLoadMut*/, 0x00, 0x10, 0x00, 0x00});
+  Bytes.insert(Bytes.end(), {0x7f /*bogus*/, 0x00, 0x00, 0x00, 0x00});
+  expectRejectedWithoutSinkMutation("bad_opcode", Bytes);
+}
+
+TEST(TraceFile, RejectsRecordCountMismatchWithoutMutatingSink) {
+  // Header promises three records but the stream holds one.
+  std::vector<uint8_t> Bytes = header(3);
+  Bytes.insert(Bytes.end(), {0 /*OpLoadMut*/, 0x00, 0x10, 0x00, 0x00});
+  expectRejectedWithoutSinkMutation("count_mismatch", Bytes);
+}
+
 TEST(TraceFile, EmptyTraceRoundTrips) {
   std::string Path = tempPath("empty.gct");
   TraceWriter W;
@@ -117,5 +201,47 @@ TEST(TraceFile, EmptyTraceRoundTrips) {
   CountingSink S;
   EXPECT_EQ(TraceReader::replay(Path, S), 0);
   EXPECT_EQ(S.totalRefs(), 0u);
+  std::remove(Path.c_str());
+}
+
+// The golden replay loop the TraceFile.h header promises: a live run
+// simulated against the full paper-grid bank, recorded, and replayed into
+// a fresh identical bank must reproduce every cache's counters for both
+// phases exactly.
+TEST(TraceFile, GoldenReplayMatchesLiveRun) {
+  std::string Path = tempPath("golden_replay.gct");
+  TraceWriter W;
+  ASSERT_TRUE(W.open(Path));
+
+  ExperimentOptions Opts;
+  Opts.Scale = 0.05;
+  Opts.Gc = GcKind::Cheney;
+  Opts.SemispaceBytes = 512 << 10;
+  Opts.Grid = CacheGridKind::PaperGrid;
+  Opts.ExtraSinks = {&W};
+  ProgramRun Live = runProgram(nbodyWorkload(), Opts);
+  ASSERT_GT(Live.Collections, 0u) << "need collector phases in the trace";
+  ASSERT_TRUE(W.close());
+
+  CacheBank Replayed;
+  Replayed.addPaperGrid(CacheConfig{});
+  ASSERT_GT(TraceReader::replay(Path, Replayed), 0);
+
+  ASSERT_EQ(Replayed.size(), Live.Bank->size());
+  for (size_t I = 0; I != Replayed.size(); ++I) {
+    const Cache &L = Live.Bank->cache(I);
+    const Cache &R = Replayed.cache(I);
+    std::string Where = L.config().label();
+    for (Phase P : {Phase::Mutator, Phase::Collector}) {
+      const CacheCounters &A = L.counters(P);
+      const CacheCounters &B = R.counters(P);
+      EXPECT_EQ(A.Loads, B.Loads) << Where;
+      EXPECT_EQ(A.Stores, B.Stores) << Where;
+      EXPECT_EQ(A.FetchMisses, B.FetchMisses) << Where;
+      EXPECT_EQ(A.NoFetchMisses, B.NoFetchMisses) << Where;
+      EXPECT_EQ(A.Writebacks, B.Writebacks) << Where;
+      EXPECT_EQ(A.WriteThroughs, B.WriteThroughs) << Where;
+    }
+  }
   std::remove(Path.c_str());
 }
