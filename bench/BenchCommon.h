@@ -13,6 +13,20 @@
 ///   --threads N  cache-bank worker threads (default 0 = serial;
 ///                GCACHE_THREADS env). Counters are bit-identical at any
 ///                thread count; see CacheBank::setThreads.
+///   --fault S    arm a fault-injection plan `<site>:<n>[:<seed>]`
+///                (GCACHE_FAULT env; see support/FaultInjector.h)
+///   --paranoid   verify the live heap after every collection and at
+///                every injected allocation failure (counters stay
+///                bit-identical; see Collector::setParanoid)
+///
+/// Unknown flags and malformed values (--threads=abc, --scale=1x,
+/// --fault=bogus) are hard errors: the binary prints a diagnostic and
+/// exits with status 2 instead of silently running with defaults.
+///
+/// Failure isolation: bench mains run each workload/configuration as a
+/// unit through BenchUnitRunner. A structured failure (injected fault,
+/// OOM, shard-worker failure, VM error) fails only that unit; the binary
+/// reports it, continues with the rest, and exits nonzero with a summary.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -20,11 +34,15 @@
 #define GCACHE_BENCH_BENCHCOMMON_H
 
 #include "gcache/core/Experiment.h"
+#include "gcache/support/FaultInjector.h"
 #include "gcache/support/Options.h"
 #include "gcache/support/Table.h"
 
 #include <cstdio>
+#include <cstdlib>
+#include <initializer_list>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace gcache {
@@ -33,29 +51,123 @@ struct BenchArgs {
   double Scale = 0.3;
   bool Csv = false;
   unsigned Threads = 0;
+  bool Paranoid = false;
   std::string Workload;
   Options Opts;
 };
 
-inline BenchArgs parseBenchArgs(int Argc, char **Argv) {
+/// Parses and validates the shared bench flags plus any \p ExtraFlags the
+/// binary declares (e.g. "seeds" for ext2_layout). Unknown flags and
+/// malformed values are fatal: diagnostic on stderr, exit(2). Also arms
+/// the process-wide fault injector from --fault / GCACHE_FAULT.
+inline BenchArgs parseBenchArgs(int Argc, char **Argv,
+                                std::initializer_list<const char *> ExtraFlags = {}) {
   BenchArgs A;
   A.Opts = Options::parse(Argc, Argv);
-  A.Scale = A.Opts.getDouble("scale", 0.3);
+
+  std::vector<std::string> Known = {"scale",   "csv",   "workload",
+                                    "threads", "fault", "paranoid"};
+  for (const char *F : ExtraFlags)
+    Known.push_back(F);
+  std::vector<std::string> Unknown = A.Opts.unknownFlags(Known);
+  if (!Unknown.empty()) {
+    for (const std::string &F : Unknown)
+      std::fprintf(stderr, "error: unknown flag --%s\n", F.c_str());
+    std::fprintf(stderr, "known flags:");
+    for (const std::string &F : Known)
+      std::fprintf(stderr, " --%s", F.c_str());
+    std::fprintf(stderr, "\n");
+    std::exit(2);
+  }
+
+  Expected<double> Scale = A.Opts.getStrictDouble("scale", 0.3);
+  if (!Scale.ok()) {
+    std::fprintf(stderr, "error: %s\n", Scale.status().message().c_str());
+    std::exit(2);
+  }
+  A.Scale = *Scale;
+
+  Expected<unsigned> Threads = A.Opts.getStrictUnsigned("threads", 0);
+  if (!Threads.ok()) {
+    std::fprintf(stderr, "error: %s\n", Threads.status().message().c_str());
+    std::exit(2);
+  }
+  A.Threads = *Threads;
+
   A.Csv = A.Opts.getBool("csv", false);
-  A.Threads = A.Opts.getUnsigned("threads", 0);
+  A.Paranoid = A.Opts.getBool("paranoid", false);
   A.Workload = A.Opts.get("workload", "");
+
+  // --fault falls back to GCACHE_FAULT via the Options env convention;
+  // empty (unset) disarms.
+  Status Armed = faultInjector().armFromSpec(A.Opts.get("fault", ""));
+  if (!Armed.ok()) {
+    std::fprintf(stderr, "error: --fault: %s\n", Armed.message().c_str());
+    std::exit(2);
+  }
   return A;
 }
 
-/// Baseline per-run options for a bench binary: the workload scale and the
-/// cache-bank thread count from the command line. Binaries layer their
-/// experiment-specific fields (grid, GC, policies) on top.
+/// Baseline per-run options for a bench binary: the workload scale, the
+/// cache-bank thread count, and paranoid verification from the command
+/// line. Binaries layer their experiment-specific fields (grid, GC,
+/// policies) on top.
 inline ExperimentOptions baseExperimentOptions(const BenchArgs &A) {
   ExperimentOptions Opts;
   Opts.Scale = A.Scale;
   Opts.Threads = A.Threads;
+  Opts.Paranoid = A.Paranoid;
   return Opts;
 }
+
+/// Runs each workload/configuration as an isolated unit. A structured
+/// failure (injected fault, OOM, shard-worker failure, VM error) fails
+/// only that unit: it is reported immediately on stderr, recorded, and
+/// the binary continues with the remaining units. finish() prints the
+/// summary and yields the process exit code.
+class BenchUnitRunner {
+public:
+  /// Runs \p W under \p Opts as unit \p Unit. On failure, reports and
+  /// records it; the caller skips that unit's downstream tables.
+  Expected<ProgramRun> run(const std::string &Unit, const Workload &W,
+                           const ExperimentOptions &Opts) {
+    Expected<ProgramRun> R = tryRunProgram(W, Opts);
+    if (R.ok())
+      ++Succeeded;
+    else
+      recordFailure(Unit, R.status());
+    return R;
+  }
+
+  /// Records a failure from a unit the binary ran itself (trace writing,
+  /// replay, ...).
+  void recordFailure(const std::string &Unit, const Status &S) {
+    std::fprintf(stderr, "FAILED %s: %s\n", Unit.c_str(),
+                 S.toString().c_str());
+    Failures.emplace_back(Unit, S);
+  }
+
+  void recordSuccess() { ++Succeeded; }
+
+  bool anyFailed() const { return !Failures.empty(); }
+
+  /// Prints the failure summary (if any) and returns the process exit
+  /// code: 0 when every unit succeeded, 1 otherwise.
+  int finish() const {
+    if (Failures.empty())
+      return 0;
+    std::fprintf(stderr, "\n%u unit(s) succeeded, %zu failed:\n", Succeeded,
+                 Failures.size());
+    for (const auto &F : Failures)
+      std::fprintf(stderr, "  FAILED %s: %s\n", F.first.c_str(),
+                   F.second.toString().c_str());
+    return 1;
+  }
+
+private:
+  unsigned Succeeded = 0;
+  std::vector<std::pair<std::string, Status>> Failures;
+};
 
 inline std::vector<const Workload *> selectWorkloads(const BenchArgs &A) {
   std::vector<const Workload *> Out;

@@ -23,7 +23,8 @@ namespace gcache {
 /// ratio with its final best-case drop.
 inline int localMissFigureMain(int Argc, char **Argv, const char *Id,
                                const char *DefaultWorkload,
-                               uint32_t CacheBytes, const char *Expected) {
+                               uint32_t CacheBytes,
+                               const char *ExpectedShape) {
   BenchArgs A = parseBenchArgs(Argc, Argv);
   std::string Name = A.Workload.empty() ? DefaultWorkload : A.Workload;
   benchHeader(Id,
@@ -33,8 +34,8 @@ inline int localMissFigureMain(int Argc, char **Argv, const char *Id,
               A);
   const Workload *W = findWorkload(Name);
   if (!W) {
-    std::fprintf(stderr, "unknown workload %s\n", Name.c_str());
-    return 1;
+    std::fprintf(stderr, "error: unknown workload %s\n", Name.c_str());
+    return 2;
   }
 
   CacheConfig Config;
@@ -46,7 +47,11 @@ inline int localMissFigureMain(int Argc, char **Argv, const char *Id,
   ExperimentOptions Opts = baseExperimentOptions(A);
   Opts.Grid = CacheGridKind::None;
   Opts.ExtraSinks = {&Sim};
-  ProgramRun Run = runProgram(*W, Opts);
+  BenchUnitRunner Runner;
+  Expected<ProgramRun> R = Runner.run(Name, *W, Opts);
+  if (!R.ok())
+    return Runner.finish();
+  ProgramRun Run = R.take();
 
   LocalMissCurves Curves = computeLocalMissCurves(Sim);
   std::printf("%s: %s refs\n\n", Run.Name.c_str(),
@@ -54,8 +59,8 @@ inline int localMissFigureMain(int Argc, char **Argv, const char *Id,
   std::fputs(renderLocalMissTable(Curves, 16).c_str(), stdout);
   std::printf("bad blocks (local miss ratio > 0.25): %zu of %zu\n",
               Curves.countAbove(0.25), Curves.Points.size());
-  std::printf("\nExpected: %s\n", Expected);
-  return 0;
+  std::printf("\nExpected: %s\n", ExpectedShape);
+  return Runner.finish();
 }
 
 } // namespace gcache

@@ -33,11 +33,15 @@ int main(int Argc, char **Argv) {
   Table T({"program", "collector", "GCs", "words copied", "I_gc",
            "O_gc 64kb slow", "O_gc 64kb fast", "O_gc 1mb fast"});
 
+  BenchUnitRunner Runner;
   for (const Workload *W : selectWorkloads(A)) {
     ExperimentOptions Ctrl = baseExperimentOptions(A);
     Ctrl.Grid = CacheGridKind::SizeSweep;
     std::printf("running %s (control)...\n", W->Name.c_str());
-    ProgramRun Control = runProgram(*W, Ctrl);
+    Expected<ProgramRun> Ctl = Runner.run(W->Name + " (control)", *W, Ctrl);
+    if (!Ctl.ok())
+      continue;
+    ProgramRun Control = Ctl.take();
 
     auto Report = [&](const char *Label, const ProgramRun &Run) {
       auto OGc = [&](uint32_t Size, const Machine &M) {
@@ -57,8 +61,10 @@ int main(int Argc, char **Argv) {
     Cheney.Gc = GcKind::Cheney;
     Cheney.SemispaceBytes = Semispace;
     std::printf("running %s (cheney)...\n", W->Name.c_str());
-    ProgramRun CheneyRun = runProgram(*W, Cheney);
-    Report("cheney", CheneyRun);
+    Expected<ProgramRun> CheneyRun =
+        Runner.run(W->Name + " (cheney)", *W, Cheney);
+    if (CheneyRun.ok())
+      Report("cheney", *CheneyRun);
 
     uint32_t OldSemi = static_cast<uint32_t>(
         (std::max<uint64_t>(Control.AllocBytes / 3, 1u << 20) + 0xffff) &
@@ -70,13 +76,15 @@ int main(int Argc, char **Argv) {
       Gen.Generational.NurseryBytes = C.NurseryBytes;
       Gen.Generational.OldSemispaceBytes = OldSemi;
       std::printf("running %s (%s)...\n", W->Name.c_str(), C.Label);
-      ProgramRun Run = runProgram(*W, Gen);
-      Report(C.Label, Run);
+      Expected<ProgramRun> Run =
+          Runner.run(W->Name + " (" + C.Label + ")", *W, Gen);
+      if (Run.ok())
+        Report(C.Label, *Run);
     }
   }
   printTable(T, A);
   std::printf("\nExpected: the aggressive configuration collects far more "
               "often, copies more, and its added I_gc outweighs any miss "
               "reduction — O_gc(aggressive) > O_gc(gen-2mb).\n");
-  return 0;
+  return Runner.finish();
 }

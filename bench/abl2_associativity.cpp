@@ -23,10 +23,15 @@ int main(int Argc, char **Argv) {
       A.Workload.empty() ? std::vector<std::string>{"orbit", "gambit"}
                          : std::vector<std::string>{A.Workload};
 
+  BenchUnitRunner Runner;
   for (const std::string &Name : Names) {
     const Workload *W = findWorkload(Name);
-    if (!W)
+    if (!W) {
+      Runner.recordFailure(
+          Name, Status::failf(StatusCode::InvalidArgument,
+                              "unknown workload '%s'", Name.c_str()));
       continue;
+    }
 
     // One run; the bank holds every (size, ways) combination.
     auto Bank = std::make_unique<CacheBank>();
@@ -43,7 +48,10 @@ int main(int Argc, char **Argv) {
     Opts.Grid = CacheGridKind::None;
     Opts.ExtraSinks = {Bank.get()};
     std::printf("running %s...\n", W->Name.c_str());
-    ProgramRun Run = runProgram(*W, Opts);
+    Expected<ProgramRun> R = Runner.run(W->Name, *W, Opts);
+    if (!R.ok())
+      continue;
+    ProgramRun Run = R.take();
 
     std::printf("\n--- %s: O_cache (slow processor) by associativity ---\n",
                 W->Name.c_str());
@@ -73,5 +81,5 @@ int main(int Argc, char **Argv) {
   std::printf("\nExpected: modest gains from associativity — the programs' "
               "one-cycle allocation behaviour already avoids most conflict "
               "misses, supporting the paper's direct-mapped focus.\n");
-  return 0;
+  return Runner.finish();
 }

@@ -18,14 +18,19 @@ int main(int Argc, char **Argv) {
   benchHeader("Experiment 1 (§5)",
               "write-validate vs fetch-on-write; write-back overheads", A);
 
+  BenchUnitRunner Runner;
   std::vector<ProgramRun> Runs;
   for (const Workload *W : selectWorkloads(A)) {
     ExperimentOptions Opts = baseExperimentOptions(A);
     Opts.Grid = CacheGridKind::PaperGrid;
     Opts.AlsoOppositePolicy = true; // one pass, both policies
     std::printf("running %s...\n", W->Name.c_str());
-    Runs.push_back(runProgram(*W, Opts));
+    Expected<ProgramRun> R = Runner.run(W->Name, *W, Opts);
+    if (R.ok())
+      Runs.push_back(R.take());
   }
+  if (Runs.empty())
+    return Runner.finish();
 
   auto FindPolicy = [](const ProgramRun &Run, uint32_t Size, uint32_t Block,
                        WriteMissPolicy P) -> const Cache * {
@@ -101,5 +106,5 @@ int main(int Argc, char **Argv) {
     }
     printTable(W, A);
   }
-  return 0;
+  return Runner.finish();
 }

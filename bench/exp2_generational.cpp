@@ -25,11 +25,15 @@ int main(int Argc, char **Argv) {
   Table T({"program", "collector", "minor/major GCs", "words copied",
            "O_gc 64kb slow", "O_gc 1mb slow", "O_gc 1mb fast"});
 
+  BenchUnitRunner Runner;
   for (const Workload *W : selectWorkloads(A)) {
     ExperimentOptions Ctrl = baseExperimentOptions(A);
     Ctrl.Grid = CacheGridKind::SizeSweep;
     std::printf("running %s (control)...\n", W->Name.c_str());
-    ProgramRun Control = runProgram(*W, Ctrl);
+    Expected<ProgramRun> Ctl = Runner.run(W->Name + " (control)", *W, Ctrl);
+    if (!Ctl.ok())
+      continue;
+    ProgramRun Control = Ctl.take();
 
     for (GcKind Kind : {GcKind::Cheney, GcKind::Generational}) {
       ExperimentOptions Gc = Ctrl;
@@ -44,7 +48,11 @@ int main(int Argc, char **Argv) {
           ~0xffffull);
       const char *Name = Kind == GcKind::Cheney ? "cheney" : "generational";
       std::printf("running %s (%s)...\n", W->Name.c_str(), Name);
-      ProgramRun Run = runProgram(*W, Gc);
+      Expected<ProgramRun> R =
+          Runner.run(W->Name + " (" + Name + ")", *W, Gc);
+      if (!R.ok())
+        continue;
+      ProgramRun Run = R.take();
 
       auto OGc = [&](uint32_t Size, const Machine &M) {
         return gcOverhead(gcInputsFor(*Run.Bank->find(Size, 64),
@@ -61,5 +69,5 @@ int main(int Argc, char **Argv) {
   printTable(T, A);
   std::printf("\nExpected: lp/cheney >= 40%% per the paper; lp/generational "
               "far lower; others comparable under both collectors.\n");
-  return 0;
+  return Runner.finish();
 }

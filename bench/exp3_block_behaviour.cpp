@@ -28,6 +28,7 @@ int main(int Argc, char **Argv) {
   Table RefT({"program", "refs<=3", "<=15", "<=63", "<=255", ">255"});
   Table CycleT({"program", "<=16k", "<=128k", "<=1m", "<=8m", "cycles"});
 
+  BenchUnitRunner Runner;
   for (const Workload *W : selectWorkloads(A)) {
     // The hot runtime vector is the VM's first static allocation, so its
     // address is Heap::StaticBase.
@@ -36,8 +37,8 @@ int main(int Argc, char **Argv) {
     Opts.Grid = CacheGridKind::None;
     Opts.ExtraSinks = {&Tracker};
     std::printf("running %s...\n", W->Name.c_str());
-    ProgramRun Run = runProgram(*W, Opts);
-    (void)Run;
+    if (!Runner.run(W->Name, *W, Opts).ok())
+      continue;
     BlockTracker *Tr = &Tracker;
     BlockSummary S = Tr->computeSummary();
 
@@ -76,5 +77,5 @@ int main(int Argc, char **Argv) {
   printTable(RefT, A);
   std::printf("\nPaper: >=90%% of multi-cycle blocks active in <=4 cycles; "
               "busy blocks ~75%% of refs; runtime vector ~6.7%%.\n");
-  return 0;
+  return Runner.finish();
 }

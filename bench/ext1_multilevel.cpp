@@ -32,6 +32,7 @@ int main(int Argc, char **Argv) {
   Table T({"program", "L1 8kb", "L1 16kb", "L1 32kb", "L1 64kb",
            "single 1mb", "single 64kb"});
 
+  BenchUnitRunner Runner;
   for (const Workload *W : selectWorkloads(A)) {
     // One run feeds all hierarchies plus two single-level references.
     std::vector<std::unique_ptr<MultiLevelCache>> Levels;
@@ -53,7 +54,10 @@ int main(int Argc, char **Argv) {
     O.ExtraSinks.push_back(&Single1mb);
     O.ExtraSinks.push_back(&Single64kb);
     std::printf("running %s...\n", W->Name.c_str());
-    ProgramRun Run = runProgram(*W, O);
+    Expected<ProgramRun> R = Runner.run(W->Name, *W, O);
+    if (!R.ok())
+      continue;
+    ProgramRun Run = R.take();
 
     std::vector<std::string> Row = {W->Name};
     for (auto &L : Levels)
@@ -71,5 +75,5 @@ int main(int Argc, char **Argv) {
               "single-level 1mb column far more closely than the 64kb one "
               "— the paper's conjecture that its results extend to "
               "hierarchies.\n");
-  return 0;
+  return Runner.finish();
 }

@@ -18,12 +18,17 @@
 using namespace gcache;
 
 int main(int Argc, char **Argv) {
-  BenchArgs A = parseBenchArgs(Argc, Argv);
+  BenchArgs A = parseBenchArgs(Argc, Argv, {"seeds"});
   benchHeader("Extension 2 (§7)",
               "static-layout sensitivity: O_cache across scatter seeds "
               "(64kb/64b, slow processor)",
               A);
-  int Seeds = static_cast<int>(A.Opts.getInt("seeds", 6));
+  Expected<unsigned> SeedCount = A.Opts.getStrictUnsigned("seeds", 6);
+  if (!SeedCount.ok()) {
+    std::fprintf(stderr, "error: %s\n", SeedCount.status().message().c_str());
+    return 2;
+  }
+  int Seeds = static_cast<int>(*SeedCount);
 
   Machine Slow = slowMachine();
   std::vector<std::string> Header = {"program"};
@@ -32,9 +37,11 @@ int main(int Argc, char **Argv) {
   Header.push_back("max/min");
   Table T(Header);
 
+  BenchUnitRunner Runner;
   for (const Workload *W : selectWorkloads(A)) {
     std::vector<std::string> Row = {W->Name};
     double Lo = 1e9, Hi = 0;
+    bool AllSeedsRan = true;
     for (int S = 0; S != Seeds; ++S) {
       Cache Sim({.SizeBytes = 64 << 10, .BlockBytes = 64});
       ExperimentOptions O = baseExperimentOptions(A);
@@ -42,12 +49,19 @@ int main(int Argc, char **Argv) {
       O.LayoutSeed = S == 0 ? 0 : static_cast<uint64_t>(S) * 7919;
       O.ExtraSinks = {&Sim};
       std::printf("running %s (layout seed %d)...\n", W->Name.c_str(), S);
-      ProgramRun Run = runProgram(*W, O);
-      double Ov = controlOverhead(Sim, Run, Slow);
+      Expected<ProgramRun> R = Runner.run(
+          W->Name + " (seed " + std::to_string(S) + ")", *W, O);
+      if (!R.ok()) {
+        AllSeedsRan = false;
+        break;
+      }
+      double Ov = controlOverhead(Sim, *R, Slow);
       Lo = std::min(Lo, Ov);
       Hi = std::max(Hi, Ov);
       Row.push_back(fmtPercent(Ov));
     }
+    if (!AllSeedsRan)
+      continue;
     Row.push_back(Lo > 0 ? fmtDouble(Hi / Lo, 2) : "inf");
     T.addRow(Row);
   }
@@ -56,5 +70,5 @@ int main(int Argc, char **Argv) {
   std::printf("\nReading the table: the spread across seeds is the cost of "
               "unlucky busy-block placement; a layout pass that separates "
               "the hottest blocks gets the minimum column for free.\n");
-  return 0;
+  return Runner.finish();
 }

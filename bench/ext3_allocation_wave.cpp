@@ -56,11 +56,14 @@ int main(int Argc, char **Argv) {
   Table T({"program", "collector", "adjacent allocs", "mutator misses",
            "GCs", "O_cache 64kb slow", "total ovh 64kb fast"});
 
+  BenchUnitRunner Runner;
   for (const Workload *W : selectWorkloads(A)) {
     ExperimentOptions Ctrl = baseExperimentOptions(A);
     Ctrl.Grid = CacheGridKind::None;
-    ProgramRun Probe = runProgram(*W, Ctrl);
-    uint32_t Semi = semispaceFor(Probe);
+    Expected<ProgramRun> Probe = Runner.run(W->Name + " (probe)", *W, Ctrl);
+    if (!Probe.ok())
+      continue;
+    uint32_t Semi = semispaceFor(*Probe);
 
     for (GcKind Kind : {GcKind::Cheney, GcKind::MarkSweep}) {
       AdjacencySink Adjacency;
@@ -71,7 +74,11 @@ int main(int Argc, char **Argv) {
       O.ExtraSinks = {&Adjacency, &Sim};
       const char *Name = Kind == GcKind::Cheney ? "cheney" : "marksweep";
       std::printf("running %s (%s)...\n", W->Name.c_str(), Name);
-      ProgramRun Run = runProgram(*W, O);
+      Expected<ProgramRun> R =
+          Runner.run(W->Name + " (" + Name + ")", *W, O);
+      if (!R.ok())
+        continue;
+      ProgramRun Run = R.take();
 
       uint64_t MutMisses = Sim.counters(Phase::Mutator).FetchMisses;
       uint64_t GcMisses = Sim.counters(Phase::Collector).FetchMisses;
@@ -98,5 +105,5 @@ int main(int Argc, char **Argv) {
               "mark-sweep scatters allocations over recycled holes — the "
               "cache behaviour the paper predicts for imperative-style "
               "storage reuse.\n");
-  return 0;
+  return Runner.finish();
 }

@@ -26,14 +26,18 @@ int main(int Argc, char **Argv) {
   benchHeader("Figure 1 (§5)",
               "average cache overhead without garbage collection", A);
 
-  std::vector<const Workload *> Ws = selectWorkloads(A);
+  BenchUnitRunner Runner;
   std::vector<ProgramRun> Runs;
-  for (const Workload *W : Ws) {
+  for (const Workload *W : selectWorkloads(A)) {
     ExperimentOptions Opts = baseExperimentOptions(A);
     Opts.Grid = CacheGridKind::PaperGrid;
     std::printf("running %s...\n", W->Name.c_str());
-    Runs.push_back(runProgram(*W, Opts));
+    Expected<ProgramRun> R = Runner.run(W->Name, *W, Opts);
+    if (R.ok())
+      Runs.push_back(R.take());
   }
+  if (Runs.empty())
+    return Runner.finish();
 
   for (const Machine &M : {slowMachine(), fastMachine()}) {
     std::printf("\n--- %s processor (%u ns cycle): average O_cache ---\n",
@@ -65,5 +69,5 @@ int main(int Argc, char **Argv) {
               fmtPercent(controlOverhead(*Run.Bank->find(64 << 10, 64), Run, M)),
               fmtPercent(controlOverhead(*Run.Bank->find(1 << 20, 64), Run, M))});
   printTable(P, A);
-  return 0;
+  return Runner.finish();
 }

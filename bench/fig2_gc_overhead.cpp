@@ -28,21 +28,31 @@ int main(int Argc, char **Argv) {
               "(64-byte blocks, scaled semispaces)",
               A);
 
-  std::vector<const Workload *> Ws = selectWorkloads(A);
+  BenchUnitRunner Runner;
+  std::vector<const Workload *> Ws;
   std::vector<ProgramRun> Controls, GcRuns;
-  for (const Workload *W : Ws) {
+  for (const Workload *W : selectWorkloads(A)) {
     ExperimentOptions Ctrl = baseExperimentOptions(A);
     Ctrl.Grid = CacheGridKind::SizeSweep;
     std::printf("running %s (control)...\n", W->Name.c_str());
-    Controls.push_back(runProgram(*W, Ctrl));
+    Expected<ProgramRun> Control = Runner.run(W->Name + " (control)", *W, Ctrl);
+    if (!Control.ok())
+      continue;
 
     ExperimentOptions Gc = Ctrl;
     Gc.Gc = GcKind::Cheney;
-    Gc.SemispaceBytes = semispaceFor(Controls.back());
+    Gc.SemispaceBytes = semispaceFor(*Control);
     std::printf("running %s (cheney, %s semispaces)...\n", W->Name.c_str(),
                 fmtSize(Gc.effectiveSemispace()).c_str());
-    GcRuns.push_back(runProgram(*W, Gc));
+    Expected<ProgramRun> GcRun = Runner.run(W->Name + " (cheney)", *W, Gc);
+    if (!GcRun.ok())
+      continue;
+    Ws.push_back(W);
+    Controls.push_back(Control.take());
+    GcRuns.push_back(GcRun.take());
   }
+  if (Ws.empty())
+    return Runner.finish();
 
   for (const Machine &M : {slowMachine(), fastMachine()}) {
     std::printf("\n--- %s processor: O_gc by cache size ---\n",
@@ -77,5 +87,5 @@ int main(int Argc, char **Argv) {
               fmtCount(GcRuns[I].Stats.ExtraInstructions)});
   }
   printTable(G, A);
-  return 0;
+  return Runner.finish();
 }

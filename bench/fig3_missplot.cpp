@@ -18,14 +18,14 @@
 using namespace gcache;
 
 int main(int Argc, char **Argv) {
-  BenchArgs A = parseBenchArgs(Argc, Argv);
+  BenchArgs A = parseBenchArgs(Argc, Argv, {"pgm"});
   std::string Name = A.Workload.empty() ? "orbit" : A.Workload;
   benchHeader("Figure 3 (§7)",
               ("cache-miss plot, " + Name + ", 64kb/64b").c_str(), A);
   const Workload *W = findWorkload(Name);
   if (!W) {
-    std::fprintf(stderr, "unknown workload %s\n", Name.c_str());
-    return 1;
+    std::fprintf(stderr, "error: unknown workload %s\n", Name.c_str());
+    return 2;
   }
 
   CacheConfig Config;
@@ -36,7 +36,11 @@ int main(int Argc, char **Argv) {
   ExperimentOptions Opts = baseExperimentOptions(A);
   Opts.Grid = CacheGridKind::None;
   Opts.ExtraSinks = {&Plot};
-  ProgramRun Run = runProgram(*W, Opts);
+  BenchUnitRunner Runner;
+  Expected<ProgramRun> R = Runner.run(Name, *W, Opts);
+  if (!R.ok())
+    return Runner.finish();
+  ProgramRun Run = R.take();
 
   std::printf("%s: %s refs, %llu time columns, fill %.3f\n\n",
               Run.Name.c_str(), fmtCount(Run.TotalRefs).c_str(),
@@ -47,8 +51,15 @@ int main(int Argc, char **Argv) {
   std::string PgmPath = A.Opts.get("pgm", "missplot_" + Name + ".pgm");
   std::ofstream Out(PgmPath, std::ios::binary);
   Out << Plot.renderPgm();
-  std::printf("\nfull-resolution plot written to %s\n", PgmPath.c_str());
+  Out.close();
+  if (!Out) {
+    Runner.recordFailure(
+        "pgm output", Status::failf(StatusCode::IoError,
+                                    "cannot write '%s'", PgmPath.c_str()));
+  } else {
+    std::printf("\nfull-resolution plot written to %s\n", PgmPath.c_str());
+  }
   std::printf("Expected shape: broken diagonals (the allocation pointer "
               "sweeping the cache), slope tracking the allocation rate.\n");
-  return 0;
+  return Runner.finish();
 }

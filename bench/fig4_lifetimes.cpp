@@ -35,14 +35,15 @@ int main(int Argc, char **Argv) {
   Header.push_back("dyn blocks");
   Table T(Header);
 
+  BenchUnitRunner Runner;
   for (const Workload *W : selectWorkloads(A)) {
     BlockTracker Tracker(64, 64 << 10);
     ExperimentOptions Opts = baseExperimentOptions(A);
     Opts.Grid = CacheGridKind::None;
     Opts.ExtraSinks = {&Tracker};
     std::printf("running %s...\n", W->Name.c_str());
-    ProgramRun Run = runProgram(*W, Opts);
-    (void)Run;
+    if (!Runner.run(W->Name, *W, Opts).ok())
+      continue;
     BlockSummary S = Tracker.computeSummary();
 
     std::vector<std::string> Row = {W->Name};
@@ -55,5 +56,5 @@ int main(int Argc, char **Argv) {
   }
   std::printf("\n");
   printTable(T, A);
-  return 0;
+  return Runner.finish();
 }

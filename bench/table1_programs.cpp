@@ -26,12 +26,16 @@ int main(int Argc, char **Argv) {
   benchHeader("Table 1 (§3)", "test programs, run without garbage collection",
               A);
 
+  BenchUnitRunner Runner;
   Table T({"program", "lines", "alloc", "insns", "refs", "refs/insn",
            "static"});
   for (const Workload *W : selectWorkloads(A)) {
     ExperimentOptions Opts = baseExperimentOptions(A);
     Opts.Grid = CacheGridKind::None;
-    ProgramRun Run = runProgram(*W, Opts);
+    Expected<ProgramRun> R = Runner.run(W->Name, *W, Opts);
+    if (!R.ok())
+      continue;
+    ProgramRun Run = R.take();
     T.addRow({W->Name, std::to_string(sourceLineCount(W->Definitions)),
               fmtSize(Run.AllocBytes & ~0x3ffull) + "+",
               fmtCount(Run.Stats.Instructions), fmtCount(Run.TotalRefs),
@@ -43,5 +47,5 @@ int main(int Argc, char **Argv) {
   printTable(T, A);
   std::printf("\nPaper ratios for comparison: refs/insn 0.26-0.31; "
               "alloc is 4-11%% of refs in bytes.\n");
-  return 0;
+  return Runner.finish();
 }

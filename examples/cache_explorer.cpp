@@ -10,6 +10,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "gcache/core/Experiment.h"
+#include "gcache/support/FaultInjector.h"
 #include "gcache/support/Options.h"
 #include "gcache/support/Table.h"
 
@@ -19,13 +20,30 @@ using namespace gcache;
 
 int main(int Argc, char **Argv) {
   Options Opts = Options::parse(Argc, Argv);
+  std::vector<std::string> Unknown = Opts.unknownFlags({"workload", "scale"});
+  if (!Unknown.empty()) {
+    for (const std::string &F : Unknown)
+      std::fprintf(stderr, "error: unknown flag --%s\n", F.c_str());
+    std::fprintf(stderr, "usage: cache_explorer [--workload W] [--scale S]\n");
+    return 2;
+  }
   std::string Name = Opts.get("workload", "gambit");
-  double Scale = Opts.getDouble("scale", 0.3);
+  Expected<double> ScaleArg = Opts.getStrictDouble("scale", 0.3);
+  if (!ScaleArg.ok()) {
+    std::fprintf(stderr, "error: %s\n", ScaleArg.status().message().c_str());
+    return 2;
+  }
+  double Scale = *ScaleArg;
+  Status Fault = faultInjector().armFromEnv();
+  if (!Fault.ok()) {
+    std::fprintf(stderr, "error: %s\n", Fault.message().c_str());
+    return 2;
+  }
 
   const Workload *W = findWorkload(Name);
   if (!W) {
-    std::fprintf(stderr, "unknown workload '%s'\n", Name.c_str());
-    return 1;
+    std::fprintf(stderr, "error: unknown workload '%s'\n", Name.c_str());
+    return 2;
   }
 
   // Build a bank covering sizes x blocks x {direct, 2-way} x both
@@ -51,7 +69,13 @@ int main(int Argc, char **Argv) {
   O.Scale = Scale;
   O.Grid = CacheGridKind::None;
   O.ExtraSinks = {Bank.get()};
-  ProgramRun Run = runProgram(*W, O);
+  Expected<ProgramRun> R = tryRunProgram(*W, O);
+  if (!R.ok()) {
+    std::fprintf(stderr, "FAILED %s: %s\n", Name.c_str(),
+                 R.status().toString().c_str());
+    return 1;
+  }
+  ProgramRun Run = R.take();
 
   Machine Slow = slowMachine();
   Machine Fast = fastMachine();

@@ -11,6 +11,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "gcache/core/Experiment.h"
+#include "gcache/support/FaultInjector.h"
 #include "gcache/support/Options.h"
 #include "gcache/support/Table.h"
 
@@ -20,16 +21,33 @@ using namespace gcache;
 
 int main(int Argc, char **Argv) {
   Options Opts = Options::parse(Argc, Argv);
+  std::vector<std::string> Unknown = Opts.unknownFlags({"workload", "scale"});
+  if (!Unknown.empty()) {
+    for (const std::string &F : Unknown)
+      std::fprintf(stderr, "error: unknown flag --%s\n", F.c_str());
+    std::fprintf(stderr, "usage: gc_tuning [--workload W] [--scale S]\n");
+    return 2;
+  }
   std::string Name = Opts.get("workload", "lp");
-  double Scale = Opts.getDouble("scale", 0.4);
+  Expected<double> ScaleArg = Opts.getStrictDouble("scale", 0.4);
+  if (!ScaleArg.ok()) {
+    std::fprintf(stderr, "error: %s\n", ScaleArg.status().message().c_str());
+    return 2;
+  }
+  double Scale = *ScaleArg;
   uint32_t CacheSize = 256 << 10;
+  Status Fault = faultInjector().armFromEnv();
+  if (!Fault.ok()) {
+    std::fprintf(stderr, "error: %s\n", Fault.message().c_str());
+    return 2;
+  }
 
   const Workload *W = findWorkload(Name);
   if (!W) {
-    std::fprintf(stderr, "unknown workload '%s' (try orbit/imps/lp/nbody/"
-                         "gambit)\n",
+    std::fprintf(stderr, "error: unknown workload '%s' (try orbit/imps/lp/"
+                         "nbody/gambit)\n",
                  Name.c_str());
-    return 1;
+    return 2;
   }
   std::printf("tuning collectors for %s (scale %.2f, %s cache, 64b "
               "blocks)\n\n",
@@ -38,7 +56,13 @@ int main(int Argc, char **Argv) {
   ExperimentOptions Base;
   Base.Scale = Scale;
   Base.Grid = CacheGridKind::SizeSweep;
-  ProgramRun Control = runProgram(*W, Base);
+  Expected<ProgramRun> Ctl = tryRunProgram(*W, Base);
+  if (!Ctl.ok()) {
+    std::fprintf(stderr, "FAILED %s (control): %s\n", Name.c_str(),
+                 Ctl.status().toString().c_str());
+    return 1;
+  }
+  ProgramRun Control = Ctl.take();
   uint32_t Semi = static_cast<uint32_t>(Control.AllocBytes / 5 + 0xffff) &
                   ~0xffffu;
   if (Semi < (512u << 10))
@@ -50,6 +74,7 @@ int main(int Argc, char **Argv) {
   };
   std::vector<Row> Rows;
 
+  bool AnyFailed = false;
   auto AddGcRun = [&](const std::string &Label, GcKind Kind,
                       uint32_t SemiBytes, uint32_t Nursery) {
     ExperimentOptions O = Base;
@@ -58,7 +83,14 @@ int main(int Argc, char **Argv) {
     O.Generational.NurseryBytes = Nursery;
     O.Generational.OldSemispaceBytes = SemiBytes;
     std::printf("running %s...\n", Label.c_str());
-    Rows.push_back({Label, runProgram(*W, O)});
+    Expected<ProgramRun> R = tryRunProgram(*W, O);
+    if (!R.ok()) {
+      std::fprintf(stderr, "FAILED %s: %s\n", Label.c_str(),
+                   R.status().toString().c_str());
+      AnyFailed = true;
+      return;
+    }
+    Rows.push_back({Label, R.take()});
   };
   AddGcRun("cheney/" + fmtSize(Semi), GcKind::Cheney, Semi, 0);
   AddGcRun("cheney/" + fmtSize(Semi * 2), GcKind::Cheney, Semi * 2, 0);
@@ -85,5 +117,5 @@ int main(int Argc, char **Argv) {
   std::printf("\nReading the table: the paper argues the winner should be "
               "an infrequently-run\ngenerational configuration; lp "
               "punishes plain Cheney hardest.\n");
-  return 0;
+  return AnyFailed ? 1 : 0;
 }

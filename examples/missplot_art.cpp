@@ -12,6 +12,7 @@
 
 #include "gcache/analysis/MissPlot.h"
 #include "gcache/core/Experiment.h"
+#include "gcache/support/FaultInjector.h"
 #include "gcache/support/Options.h"
 #include "gcache/support/Table.h"
 
@@ -22,25 +23,57 @@ using namespace gcache;
 
 int main(int Argc, char **Argv) {
   Options Opts = Options::parse(Argc, Argv);
+  std::vector<std::string> Unknown =
+      Opts.unknownFlags({"workload", "scale", "cache-kb", "block", "gc"});
+  if (!Unknown.empty()) {
+    for (const std::string &F : Unknown)
+      std::fprintf(stderr, "error: unknown flag --%s\n", F.c_str());
+    std::fprintf(stderr, "usage: missplot_art [--workload W] [--scale S] "
+                         "[--cache-kb N] [--block N] [--gc none|cheney|"
+                         "generational]\n");
+    return 2;
+  }
   std::string Name = Opts.get("workload", "nbody");
-  double Scale = Opts.getDouble("scale", 0.15);
-  uint32_t CacheKb = static_cast<uint32_t>(Opts.getInt("cache-kb", 64));
-  uint32_t Block = static_cast<uint32_t>(Opts.getInt("block", 64));
+  Expected<double> ScaleArg = Opts.getStrictDouble("scale", 0.15);
+  Expected<unsigned> CacheKbArg = Opts.getStrictUnsigned("cache-kb", 64);
+  Expected<unsigned> BlockArg = Opts.getStrictUnsigned("block", 64);
+  for (const Status &S :
+       {ScaleArg.ok() ? Status() : ScaleArg.status(),
+        CacheKbArg.ok() ? Status() : CacheKbArg.status(),
+        BlockArg.ok() ? Status() : BlockArg.status()})
+    if (!S.ok()) {
+      std::fprintf(stderr, "error: %s\n", S.message().c_str());
+      return 2;
+    }
+  double Scale = *ScaleArg;
+  uint32_t CacheKb = *CacheKbArg;
+  uint32_t Block = *BlockArg;
+  Status Fault = faultInjector().armFromEnv();
+  if (!Fault.ok()) {
+    std::fprintf(stderr, "error: %s\n", Fault.message().c_str());
+    return 2;
+  }
   std::string GcName = Opts.get("gc", "none");
+  if (GcName != "none" && GcName != "cheney" && GcName != "generational") {
+    std::fprintf(stderr, "error: unknown --gc '%s' (none|cheney|"
+                         "generational)\n",
+                 GcName.c_str());
+    return 2;
+  }
 
   const Workload *W = findWorkload(Name);
   if (!W) {
-    std::fprintf(stderr, "unknown workload '%s'\n", Name.c_str());
-    return 1;
+    std::fprintf(stderr, "error: unknown workload '%s'\n", Name.c_str());
+    return 2;
   }
 
   CacheConfig Config;
   Config.SizeBytes = CacheKb << 10;
   Config.BlockBytes = Block;
   if (!Config.isValid()) {
-    std::fprintf(stderr, "invalid cache geometry %u KB / %u B\n", CacheKb,
-                 Block);
-    return 1;
+    std::fprintf(stderr, "error: invalid cache geometry %u KB / %u B\n",
+                 CacheKb, Block);
+    return 2;
   }
   MissPlot Plot(Config);
 
@@ -51,7 +84,13 @@ int main(int Argc, char **Argv) {
          : GcName == "generational" ? GcKind::Generational
                                     : GcKind::None;
   O.ExtraSinks = {&Plot};
-  ProgramRun Run = runProgram(*W, O);
+  Expected<ProgramRun> R = tryRunProgram(*W, O);
+  if (!R.ok()) {
+    std::fprintf(stderr, "FAILED %s: %s\n", Name.c_str(),
+                 R.status().toString().c_str());
+    return 1;
+  }
+  ProgramRun Run = R.take();
 
   std::printf("%s in %s/%s (%s, %s refs, %llu collections)\n\n",
               Name.c_str(), fmtSize(Config.SizeBytes).c_str(),

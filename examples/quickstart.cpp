@@ -14,6 +14,7 @@
 
 #include "gcache/core/Experiment.h"
 #include "gcache/memsys/Cache.h"
+#include "gcache/support/FaultInjector.h"
 #include "gcache/support/Table.h"
 #include "gcache/trace/Sinks.h"
 #include "gcache/vm/SchemeSystem.h"
@@ -23,6 +24,11 @@
 using namespace gcache;
 
 int main() {
+  Status Fault = faultInjector().armFromEnv();
+  if (!Fault.ok()) {
+    std::fprintf(stderr, "error: %s\n", Fault.message().c_str());
+    return 2;
+  }
   // 1. A cache to simulate (64 KB direct-mapped, 64-byte blocks,
   //    write-validate — the paper's workhorse configuration) and a
   //    counter for the reference totals.
@@ -50,7 +56,15 @@ int main() {
             acc
             (loop (+ i 1) (+ acc (sum (build 100)))))))
   )scheme");
-  Value Result = Scheme.run("(church-sum 2000)");
+  // Failures (a read error, an injected fault via GCACHE_FAULT, heap
+  // exhaustion) surface as StatusError; catch at the unit boundary.
+  Value Result;
+  try {
+    Result = Scheme.run("(church-sum 2000)");
+  } catch (const StatusError &E) {
+    std::fprintf(stderr, "FAILED: %s\n", E.status().toString().c_str());
+    return 1;
+  }
 
   // 4. Report.
   const RunStats &Stats = Scheme.lastRunStats();

@@ -62,6 +62,7 @@ ProgramRun gcache::runProgram(const Workload &W,
     SysConfig.Generational.OldSemispaceBytes = Opts.effectiveSemispace();
   SysConfig.Bus = &Bus;
   SysConfig.LayoutSeed = Opts.LayoutSeed;
+  SysConfig.Paranoid = Opts.Paranoid;
   SchemeSystem Sys(SysConfig);
 
   Sys.loadDefinitions(W.Definitions);
@@ -82,6 +83,15 @@ ProgramRun gcache::runProgram(const Workload &W,
   Run.StaticBytes = Sys.heap().staticFrontier() - Heap::StaticBase;
   Run.Bank = std::move(Bank);
   return Run;
+}
+
+Expected<ProgramRun> gcache::tryRunProgram(const Workload &W,
+                                           const ExperimentOptions &Opts) {
+  try {
+    return runProgram(W, Opts);
+  } catch (const StatusError &E) {
+    return E.status();
+  }
 }
 
 Machine gcache::slowMachine() { return {MemoryTiming(), ProcessorModel::slow()}; }

@@ -65,6 +65,10 @@ struct ExperimentOptions {
   /// Worker threads for the cache bank (0 = serial). Results are
   /// bit-identical across thread counts; see CacheBank::setThreads.
   unsigned Threads = 0;
+  /// Verify the live heap after every collection and at every injected
+  /// allocation failure (verification is peek-only, so all simulated
+  /// counters stay bit-identical); see SchemeSystemConfig::Paranoid.
+  bool Paranoid = false;
 
   /// Effective semispace size after scaling.
   uint32_t effectiveSemispace() const;
@@ -86,7 +90,16 @@ struct ProgramRun {
 
 /// Loads \p W into a fresh Scheme system configured per \p Opts, executes
 /// the measured run, and returns the results (including the cache bank).
+/// Raises StatusError on any structured failure in the run (injected
+/// fault, VM error, heap corruption in paranoid mode, ...).
 ProgramRun runProgram(const Workload &W, const ExperimentOptions &Opts);
+
+/// runProgram with failures surfaced as an Expected — the per-workload
+/// unit boundary. A failure in one workload/cache configuration degrades
+/// gracefully: the caller reports the failed unit and continues with the
+/// rest (see BenchUnitRunner in bench/BenchCommon.h).
+Expected<ProgramRun> tryRunProgram(const Workload &W,
+                                   const ExperimentOptions &Opts);
 
 /// The paper's two machines.
 Machine slowMachine();

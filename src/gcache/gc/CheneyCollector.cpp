@@ -10,7 +10,8 @@ CheneyCollector::CheneyCollector(Heap &H, MutatorContext &Mutator,
                                  uint32_t SemispaceBytes)
     : Collector(H, Mutator), SemiBytes(SemispaceBytes) {
   if (SemispaceBytes % 4 != 0 || SemispaceBytes == 0)
-    fatalGcError("semispace size %u is not a positive multiple of 4",
+    fatalGcError(StatusCode::InvalidArgument,
+                 "semispace size %u is not a positive multiple of 4",
                  SemispaceBytes);
   FromBase = Heap::DynamicBase;
   ToBase = Heap::DynamicBase + SemiBytes;
@@ -19,10 +20,12 @@ CheneyCollector::CheneyCollector(Heap &H, MutatorContext &Mutator,
 }
 
 Address CheneyCollector::allocate(uint32_t Words) {
+  checkAllocFaults();
   if (H.dynamicWordsLeft() < Words) {
     collect();
     if (H.dynamicWordsLeft() < Words)
-      fatalGcError("semispace exhausted: %u words requested, %u free; "
+      fatalGcError(StatusCode::OutOfMemory,
+                   "semispace exhausted: %u words requested, %u free; "
                    "increase the semispace size",
                    Words, H.dynamicWordsLeft());
   }
@@ -124,4 +127,5 @@ void CheneyCollector::collect() {
     Bus->onGcEnd();
   H.setPhase(Phase::Mutator);
   Mutator.onPostGc();
+  paranoidPostGcCheck();
 }

@@ -36,6 +36,10 @@ public:
   Address allocate(uint32_t Words) override;
   void collect() override;
   std::string name() const override { return "cheney"; }
+  /// Live data sits in from-space between its base and the frontier.
+  std::vector<std::pair<Address, Address>> liveRanges() const override {
+    return {{FromBase, H.dynamicFrontier()}};
+  }
 
   Address fromSpaceBase() const { return FromBase; }
   Address toSpaceBase() const { return ToBase; }

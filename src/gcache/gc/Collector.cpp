@@ -2,21 +2,51 @@
 
 #include "gcache/gc/Collector.h"
 
+#include "gcache/heap/HeapVerifier.h"
+#include "gcache/support/FaultInjector.h"
+
 #include <cstdarg>
 #include <cstdio>
-#include <cstdlib>
 
 using namespace gcache;
 
 MutatorContext::~MutatorContext() = default;
 Collector::~Collector() = default;
 
-void gcache::fatalGcError(const char *Fmt, ...) {
+void gcache::fatalGcError(StatusCode Code, const char *Fmt, ...) {
   va_list Args;
   va_start(Args, Fmt);
-  std::fprintf(stderr, "gcache fatal: ");
-  std::vfprintf(stderr, Fmt, Args);
-  std::fprintf(stderr, "\n");
+  char Buf[512];
+  std::vsnprintf(Buf, sizeof(Buf), Fmt, Args);
   va_end(Args);
-  std::abort();
+  throw StatusError(Status::fail(Code, Buf));
+}
+
+void Collector::verifyLiveHeapOrThrow(const char *When) const {
+  std::vector<std::pair<Address, Address>> Ranges = liveRanges();
+  for (const auto &[Begin, End] : Ranges) {
+    VerifyResult R = verifyHeapRange(H, Begin, End, Ranges);
+    if (!R.Ok)
+      throw StatusError(Status::failf(
+          StatusCode::HeapCorrupt,
+          "paranoid heap verification failed %s in [0x%08x, 0x%08x): %s",
+          When, Begin, End, R.Error.c_str()));
+  }
+}
+
+void Collector::checkAllocFaults() {
+  FaultInjector &Fi = faultInjector();
+  if (Fi.shouldFire(FaultSite::GcForce))
+    collect();
+  if (Fi.shouldFire(FaultSite::HeapOom)) {
+    // An injected OOM doubles as a consistency probe: in paranoid mode the
+    // heap must verify at the exact allocation point that failed.
+    if (paranoid())
+      verifyLiveHeapOrThrow("at injected allocation failure");
+    throw StatusError(Status::failf(
+        StatusCode::OutOfMemory,
+        "injected allocation failure (site heap-oom, occurrence %llu)",
+        static_cast<unsigned long long>(
+            Fi.occurrences(FaultSite::HeapOom))));
+  }
 }

@@ -28,9 +28,12 @@
 
 #include "gcache/heap/Heap.h"
 #include "gcache/heap/ObjectModel.h"
+#include "gcache/support/Status.h"
 
 #include <functional>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace gcache {
 
@@ -106,10 +109,47 @@ public:
   /// Generational hook: the mutator stored \p New into heap slot \p Slot.
   virtual void noteStore(Address Slot, Value New) {}
 
+  //===--- Paranoid heap verification -------------------------------------===//
+
+  /// In paranoid mode the collector re-verifies the whole live heap
+  /// (structure + pointer targets, via verifyHeapRange) after every
+  /// collection and at every injected allocation failure. Verification
+  /// uses only untraced peeks, so it is counter-invisible: every
+  /// simulated number is bit-identical with or without it (proved by
+  /// tests/test_fault_injection.cpp).
+  void setParanoid(bool On) { Paranoid = On; }
+  bool paranoid() const { return Paranoid; }
+
+  /// The regions currently holding live, walkable objects (used by
+  /// paranoid verification). Pointer targets must land in one of these or
+  /// in the static area.
+  virtual std::vector<std::pair<Address, Address>> liveRanges() const = 0;
+
+  /// Runs verifyHeapRange over every live range now, regardless of the
+  /// paranoid flag; throws StatusError(HeapCorrupt) on the first problem.
+  /// \p When labels the check in the error message.
+  void verifyLiveHeapOrThrow(const char *When) const;
+
 protected:
+  /// Fault-injection hook every concrete allocate() calls on entry: fires
+  /// the gc-force site (runs a full collection) and the heap-oom site
+  /// (throws StatusError(OutOfMemory), after a paranoid heap check so an
+  /// injected failure also proves the heap was consistent at that point).
+  void checkAllocFaults();
+
+  /// Paranoid-mode epilogue for collect()/minorCollect() implementations:
+  /// verifies the live heap when paranoid() is on.
+  void paranoidPostGcCheck() {
+    if (Paranoid)
+      verifyLiveHeapOrThrow("after collection");
+  }
+
   Heap &H;
   MutatorContext &Mutator;
   GcStats Stats;
+
+private:
+  bool Paranoid = false;
 };
 
 /// No collection at all: linear allocation in the unbounded dynamic area.
@@ -121,10 +161,14 @@ public:
     H.setDynamicLimit(0);
   }
   Address allocate(uint32_t Words) override {
+    checkAllocFaults();
     return H.allocDynamicRaw(Words);
   }
   void collect() override {}
   std::string name() const override { return "none"; }
+  std::vector<std::pair<Address, Address>> liveRanges() const override {
+    return {{Heap::DynamicBase, H.dynamicFrontier()}};
+  }
 };
 
 /// Test helper: fixed stack depth, externally registered host roots.
@@ -142,10 +186,15 @@ public:
   void onPostGc() override { ++PostGcCalls; }
 };
 
-/// Prints a message and aborts; used for unrecoverable simulation errors
-/// such as semispace exhaustion (the paper's runs size semispaces to fit
-/// the live set).
-[[noreturn]] void fatalGcError(const char *Fmt, ...);
+/// Raises a StatusError with \p Code; used for unrecoverable-in-place
+/// simulation errors such as semispace exhaustion (the paper's runs size
+/// semispaces to fit the live set). Unit boundaries (tryRunProgram, the
+/// bench drivers) catch it, report the failed unit, and continue.
+[[noreturn]] void fatalGcError(StatusCode Code, const char *Fmt, ...)
+#if defined(__GNUC__) || defined(__clang__)
+    __attribute__((format(printf, 2, 3)))
+#endif
+    ;
 
 } // namespace gcache
 

@@ -11,7 +11,8 @@ GenerationalCollector::GenerationalCollector(Heap &H, MutatorContext &Mutator,
     : Collector(H, Mutator), Config(Config) {
   if (Config.NurseryBytes % 4 != 0 || Config.NurseryBytes == 0 ||
       Config.OldSemispaceBytes % 4 != 0 || Config.OldSemispaceBytes == 0)
-    fatalGcError("generation sizes (%u, %u) must be positive multiples of 4",
+    fatalGcError(StatusCode::InvalidArgument,
+                 "generation sizes (%u, %u) must be positive multiples of 4",
                  Config.NurseryBytes, Config.OldSemispaceBytes);
   OldFromBase = Heap::DynamicBase + Config.NurseryBytes;
   OldToBase = OldFromBase + Config.OldSemispaceBytes;
@@ -21,6 +22,7 @@ GenerationalCollector::GenerationalCollector(Heap &H, MutatorContext &Mutator,
 }
 
 Address GenerationalCollector::allocate(uint32_t Words) {
+  checkAllocFaults();
   uint32_t Bytes = Words * 4;
   // Objects too large for the nursery are allocated directly in the old
   // generation (a conventional large-object escape hatch; it matters for
@@ -29,7 +31,8 @@ Address GenerationalCollector::allocate(uint32_t Words) {
     if (oldFreeBytes() < Bytes)
       collect();
     if (oldFreeBytes() < Bytes)
-      fatalGcError("old generation exhausted by a %u-byte object", Bytes);
+      fatalGcError(StatusCode::OutOfMemory,
+                   "old generation exhausted by a %u-byte object", Bytes);
     Address SavedFrontier = H.dynamicFrontier();
     Address SavedLimit = H.dynamicLimit();
     H.setDynamicFrontier(OldFree);
@@ -44,7 +47,8 @@ Address GenerationalCollector::allocate(uint32_t Words) {
   if (H.dynamicWordsLeft() < Words) {
     minorCollect();
     if (H.dynamicWordsLeft() < Words)
-      fatalGcError("nursery exhausted after a minor collection");
+      fatalGcError(StatusCode::OutOfMemory,
+                   "nursery exhausted after a minor collection");
   }
   return H.allocDynamicRaw(Words);
 }
@@ -132,6 +136,7 @@ void GenerationalCollector::finishCollection() {
     Bus->onGcEnd();
   H.setPhase(Phase::Mutator);
   Mutator.onPostGc();
+  paranoidPostGcCheck();
 }
 
 void GenerationalCollector::minorCollect() {
@@ -198,7 +203,8 @@ void GenerationalCollector::collect() {
     forwardSlotsAt(ScanPtr, Header, InLiveSpace);
     ScanPtr += headerObjectWords(Header) * 4;
     if (FreePtr > CopyLimit)
-      fatalGcError("old generation overflow during a full collection; "
+      fatalGcError(StatusCode::OutOfMemory,
+                   "old generation overflow during a full collection; "
                    "increase the old semispace size");
   }
 

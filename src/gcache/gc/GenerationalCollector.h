@@ -56,6 +56,11 @@ public:
   Address allocate(uint32_t Words) override;
   void collect() override; ///< Forces a full collection.
   std::string name() const override { return "generational"; }
+  /// Live data: the filled part of the nursery plus the old generation's
+  /// occupied from-space prefix.
+  std::vector<std::pair<Address, Address>> liveRanges() const override {
+    return {{Heap::DynamicBase, H.dynamicFrontier()}, {OldFromBase, OldFree}};
+  }
 
   uint64_t writeBarrierCost() const override { return gccost::WriteBarrier; }
   void noteStore(Address Slot, Value New) override;

@@ -10,7 +10,8 @@ MarkSweepCollector::MarkSweepCollector(Heap &H, MutatorContext &Mutator,
                                        uint32_t HeapBytes)
     : Collector(H, Mutator) {
   if (HeapBytes % 4 != 0 || HeapBytes < 64 || HeapBytes >= (64u << 20))
-    fatalGcError("mark-sweep heap size %u must be a multiple of 4 in "
+    fatalGcError(StatusCode::InvalidArgument,
+                 "mark-sweep heap size %u must be a multiple of 4 in "
                  "[64, 64MB)",
                  HeapBytes);
   Base = Heap::DynamicBase;
@@ -88,13 +89,15 @@ Address MarkSweepCollector::popFit(uint32_t Words) {
 }
 
 Address MarkSweepCollector::allocate(uint32_t Words) {
+  checkAllocFaults();
   uint32_t Need = Words < 2 ? 2 : Words;
   Address A = popFit(Need);
   if (!A) {
     collect();
     A = popFit(Need);
     if (!A)
-      fatalGcError("mark-sweep heap exhausted allocating %u words "
+      fatalGcError(StatusCode::OutOfMemory,
+                   "mark-sweep heap exhausted allocating %u words "
                    "(fragmentation or undersized heap)",
                    Words);
   }
@@ -212,6 +215,7 @@ void MarkSweepCollector::collect() {
     Bus->onGcEnd();
   H.setPhase(Phase::Mutator);
   Mutator.onPostGc();
+  paranoidPostGcCheck();
 }
 
 uint64_t MarkSweepCollector::freeWords() const {

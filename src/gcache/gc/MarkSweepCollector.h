@@ -49,6 +49,11 @@ public:
   Address allocate(uint32_t Words) override;
   void collect() override;
   std::string name() const override { return "marksweep"; }
+  /// The whole region stays walkable (free chunks carry headers), so the
+  /// verifier can parse it end to end.
+  std::vector<std::pair<Address, Address>> liveRanges() const override {
+    return {{Base, End}};
+  }
 
   /// Non-moving: addresses are stable across collections, so address-
   /// keyed hash tables never need rehashing.

@@ -8,7 +8,9 @@ using namespace gcache;
 
 CacheBank::~CacheBank() {
   // ShardPool's destructor drains its queues before joining, so any
-  // still-buffered references are published and simulated first.
+  // still-buffered references are published and simulated first. Worker
+  // failures are swallowed here (destructors must not throw); callers who
+  // care flush() explicitly before destruction.
   if (Pool)
     publish();
 }

@@ -70,7 +70,9 @@ public:
 
   /// Publishes any buffered references and waits until the workers have
   /// simulated everything. Required before reading counters in threaded
-  /// mode; a no-op in serial mode.
+  /// mode; a no-op in serial mode. If a shard worker failed since the last
+  /// flush, the captured exception is rethrown here on the calling thread
+  /// (the destructor instead swallows failures — it must not throw).
   void flush();
 
   void onRef(const Ref &R) override {

@@ -3,6 +3,7 @@
 #include "gcache/memsys/ShardPool.h"
 
 #include "gcache/memsys/Cache.h"
+#include "gcache/support/FaultInjector.h"
 
 #include <algorithm>
 
@@ -39,8 +40,14 @@ void ShardPool::submit(std::shared_ptr<const RefBatch> Batch) {
 }
 
 void ShardPool::drain() {
-  std::unique_lock<std::mutex> Lock(Mutex);
-  AllIdle.wait(Lock, [this] { return Outstanding == 0; });
+  std::exception_ptr Failure;
+  {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    AllIdle.wait(Lock, [this] { return Outstanding == 0; });
+    std::swap(Failure, FirstFailure);
+  }
+  if (Failure)
+    std::rethrow_exception(Failure);
 }
 
 void ShardPool::workerLoop(Worker &W) {
@@ -54,9 +61,26 @@ void ShardPool::workerLoop(Worker &W) {
       Batch = std::move(W.Queue.front());
       W.Queue.pop_front();
     }
-    for (const Ref &R : *Batch)
-      for (Cache *C : W.Shard)
-        (void)C->access(R);
+    // A worker that has already failed keeps consuming batches (so
+    // Outstanding reaches zero and drain() never wedges) but discards
+    // them: its shard's counters are already invalid.
+    if (!W.Failed) {
+      try {
+        // shard-worker fault site: one hit per (batch, worker)
+        // consumption, in every worker thread.
+        if (faultInjector().shouldFire(FaultSite::ShardWorker))
+          throwStatus(StatusCode::WorkerFailure,
+                      "injected shard-worker failure (site shard-worker)");
+        for (const Ref &R : *Batch)
+          for (Cache *C : W.Shard)
+            (void)C->access(R);
+      } catch (...) {
+        W.Failed = true;
+        std::lock_guard<std::mutex> Lock(Mutex);
+        if (!FirstFailure)
+          FirstFailure = std::current_exception();
+      }
+    }
     Batch.reset();
     {
       std::lock_guard<std::mutex> Lock(Mutex);

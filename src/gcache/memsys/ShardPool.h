@@ -15,6 +15,13 @@
 /// sound for the same reason the one-pass bank itself is (see CacheBank.h):
 /// the reference stream never depends on any cache's state.
 ///
+/// Worker failures (a throwing Cache::access, or the injected shard-worker
+/// fault site) do not terminate the process: the first exception is
+/// captured, the failed worker keeps consuming — but discards — its
+/// remaining batches so drain() never wedges, and the exception is
+/// rethrown on the submitting thread at the next drain() (i.e. the bank's
+/// next flush).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef GCACHE_MEMSYS_SHARDPOOL_H
@@ -24,6 +31,7 @@
 
 #include <condition_variable>
 #include <deque>
+#include <exception>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -56,13 +64,20 @@ public:
   /// submission order within each shard.
   void submit(std::shared_ptr<const RefBatch> Batch);
 
-  /// Blocks until every submitted batch has been fully simulated.
+  /// Blocks until every submitted batch has been fully simulated or
+  /// discarded, then rethrows the first captured worker exception, if any
+  /// (the failure is consumed: a subsequent drain() succeeds). After a
+  /// rethrow the failed shard's counters are meaningless; reset the bank
+  /// before reusing it.
   void drain();
 
 private:
   struct Worker {
     std::vector<Cache *> Shard;
     std::deque<std::shared_ptr<const RefBatch>> Queue;
+    /// Set once this worker has thrown; it then discards batches instead
+    /// of simulating them (only its own thread reads or writes this).
+    bool Failed = false;
   };
 
   void workerLoop(Worker &W);
@@ -73,6 +88,9 @@ private:
   /// (batch, worker) pairs submitted but not yet fully simulated.
   uint64_t Outstanding = 0;
   bool Stopping = false;
+  /// First exception any worker threw, captured under Mutex; rethrown
+  /// (and cleared) by drain() on the submitting thread.
+  std::exception_ptr FirstFailure;
   std::vector<Worker> Workers;
   std::vector<std::thread> Threads;
 };

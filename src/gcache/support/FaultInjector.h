@@ -1,0 +1,134 @@
+//===- FaultInjector.h - Deterministic fault injection ----------*- C++ -*-===//
+//
+// Part of the gcache project (Reinhold, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic, seed-driven fault injection for the whole measurement
+/// stack. Every layer threads a *named injection site* through this
+/// process-wide injector:
+///
+///   heap-oom      Collector::allocate fails with OutOfMemory at the Nth
+///                 dynamic allocation.
+///   gc-force      A full collection is forced at the Nth allocation.
+///   trace-write   TraceWriter simulates a short write / disk-full at the
+///                 Nth emitted record.
+///   shard-worker  A ShardPool worker throws while consuming its Nth
+///                 batch (captured and rethrown at the next flush/join).
+///   step-abort    SchemeSystem::run aborts before its Nth top-level
+///                 form.
+///
+/// A plan is `<site>:<n>[:<seed>]`: without a seed the site fires at
+/// exactly the Nth occurrence (1-based); with a seed it fires at a
+/// splitmix64-derived occurrence in [1, n] — a deterministic
+/// pseudo-random pick, so seed sweeps explore different injection points
+/// reproducibly. Plans come from `GCACHE_FAULT=<spec>` or the bench
+/// binaries' `--fault <spec>`.
+///
+/// Sites count occurrences even when disarmed (atomically; workers hit
+/// shard-worker concurrently), so a clean run doubles as an occurrence
+/// census: run once, read occurrences(Site), then sweep n over [1, max] —
+/// the OOM-at-every-allocation test in tests/test_fault_injection.cpp.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCACHE_SUPPORT_FAULTINJECTOR_H
+#define GCACHE_SUPPORT_FAULTINJECTOR_H
+
+#include "gcache/support/Status.h"
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace gcache {
+
+/// The named injection sites (see file comment for where each fires).
+enum class FaultSite : uint8_t {
+  HeapOom = 0,
+  GcForce,
+  TraceShortWrite,
+  ShardWorker,
+  StepAbort,
+};
+constexpr unsigned NumFaultSites = 5;
+
+/// Stable spec name of \p Site ("heap-oom", "trace-write", ...).
+const char *faultSiteName(FaultSite Site);
+
+/// One armed fault: fire \p Site once, at an occurrence derived from
+/// \p Nth and \p Seed.
+struct FaultPlan {
+  FaultSite Site = FaultSite::HeapOom;
+  uint64_t Nth = 1;  ///< >= 1.
+  uint64_t Seed = 0; ///< 0 = fire exactly at occurrence Nth.
+
+  /// The 1-based occurrence at which the site fires: Nth when Seed == 0,
+  /// otherwise a deterministic splitmix64 pick in [1, Nth].
+  uint64_t fireIndex() const;
+
+  /// Renders the plan back to spec syntax.
+  std::string toString() const;
+};
+
+/// Parses `<site>:<n>[:<seed>]`; n must be a positive integer and site a
+/// known name. Returns InvalidArgument with the accepted grammar on any
+/// malformed spec.
+Expected<FaultPlan> parseFaultSpec(const std::string &Spec);
+
+/// Process-wide injector: at most one armed plan, plus an occurrence
+/// counter per site. shouldFire() is wait-free and thread-safe (shard
+/// workers call it concurrently with the mutator thread).
+class FaultInjector {
+public:
+  /// Arms \p Plan (replacing any previous plan) and resets all counters.
+  void arm(const FaultPlan &Plan);
+
+  /// Disarms; counters keep counting (census mode).
+  void disarm();
+
+  /// Parses and arms \p Spec; empty or "off" disarms. Returns the parse
+  /// status.
+  Status armFromSpec(const std::string &Spec);
+
+  /// Arms from the GCACHE_FAULT environment variable if set; a no-op
+  /// (ok) when unset. Returns the parse status so CLIs can report it.
+  Status armFromEnv();
+
+  bool armed() const { return Armed.load(std::memory_order_relaxed); }
+  FaultPlan plan() const { return Plan; }
+
+  /// Counts one occurrence of \p Site; true exactly when the armed plan
+  /// targets this site and this is the firing occurrence. The caller then
+  /// raises the fault (throw, forced GC, simulated short write).
+  bool shouldFire(FaultSite Site) {
+    uint64_t Seen = Counts[static_cast<unsigned>(Site)].fetch_add(
+                        1, std::memory_order_relaxed) +
+                    1;
+    if (!Armed.load(std::memory_order_relaxed))
+      return false;
+    return Site == Plan.Site && Seen == FireIndex;
+  }
+
+  /// Occurrences of \p Site counted since the last arm()/resetCounters().
+  uint64_t occurrences(FaultSite Site) const {
+    return Counts[static_cast<unsigned>(Site)].load(std::memory_order_relaxed);
+  }
+
+  /// Zeroes every site counter (between census runs).
+  void resetCounters();
+
+private:
+  std::atomic<bool> Armed{false};
+  FaultPlan Plan;
+  uint64_t FireIndex = 0;
+  std::atomic<uint64_t> Counts[NumFaultSites] = {};
+};
+
+/// The process-wide injector every layer consults.
+FaultInjector &faultInjector();
+
+} // namespace gcache
+
+#endif // GCACHE_SUPPORT_FAULTINJECTOR_H

@@ -2,6 +2,7 @@
 
 #include "gcache/support/Options.h"
 
+#include <cerrno>
 #include <cstdlib>
 #include <string_view>
 
@@ -68,4 +69,48 @@ bool Options::getBool(const std::string &Name, bool Default) const {
 
 bool Options::has(const std::string &Name) const {
   return !get(Name, "").empty();
+}
+
+std::vector<std::string>
+Options::unknownFlags(const std::vector<std::string> &Known) const {
+  std::vector<std::string> Unknown;
+  for (const auto &[Name, Value] : Values) {
+    bool Found = false;
+    for (const std::string &K : Known)
+      Found = Found || K == Name;
+    if (!Found)
+      Unknown.push_back(Name);
+  }
+  return Unknown;
+}
+
+Expected<unsigned> Options::getStrictUnsigned(const std::string &Name,
+                                              unsigned Default) const {
+  std::string V = get(Name, "");
+  if (V.empty())
+    return Default;
+  char *End = nullptr;
+  errno = 0;
+  long Parsed = std::strtol(V.c_str(), &End, 10);
+  if (End == V.c_str() || *End != '\0' || errno == ERANGE || Parsed < 0 ||
+      Parsed > static_cast<long>(~0u))
+    return Status::failf(StatusCode::InvalidArgument,
+                         "--%s expects a non-negative integer, got '%s'",
+                         Name.c_str(), V.c_str());
+  return static_cast<unsigned>(Parsed);
+}
+
+Expected<double> Options::getStrictDouble(const std::string &Name,
+                                          double Default) const {
+  std::string V = get(Name, "");
+  if (V.empty())
+    return Default;
+  char *End = nullptr;
+  errno = 0;
+  double Parsed = std::strtod(V.c_str(), &End);
+  if (End == V.c_str() || *End != '\0' || errno == ERANGE)
+    return Status::failf(StatusCode::InvalidArgument,
+                         "--%s expects a number, got '%s'", Name.c_str(),
+                         V.c_str());
+  return Parsed;
 }

@@ -15,17 +15,26 @@
 #ifndef GCACHE_SUPPORT_OPTIONS_H
 #define GCACHE_SUPPORT_OPTIONS_H
 
+#include "gcache/support/Status.h"
+
 #include <map>
 #include <string>
+#include <vector>
 
 namespace gcache {
 
 /// Parsed command-line flags with typed accessors and env fallbacks.
 class Options {
 public:
-  /// Parses argv; unknown flags are collected verbatim (no error), so each
-  /// binary only declares the flags it reads.
+  /// Parses argv; flags are collected verbatim, so each binary declares
+  /// the flags it reads and then rejects the rest via unknownFlags().
   static Options parse(int Argc, char **Argv);
+
+  /// Flags present on the command line that are not in \p Known. Binaries
+  /// call this after parse() and exit nonzero when it is non-empty, so a
+  /// typo like --thread never silently runs with defaults.
+  std::vector<std::string>
+  unknownFlags(const std::vector<std::string> &Known) const;
 
   /// Returns the flag value, or the GCACHE_<NAME> environment variable, or
   /// \p Default.
@@ -38,6 +47,22 @@ public:
   unsigned getUnsigned(const std::string &Name, unsigned Default) const;
   bool getBool(const std::string &Name, bool Default = false) const;
   bool has(const std::string &Name) const;
+
+  //===--- Strict accessors ------------------------------------------------===//
+  // The getX accessors above tolerate garbage (strtol semantics: "12abc"
+  // parses as 12, "abc" as the default). The strict variants reject any
+  // value that does not parse in full, so bench binaries can exit nonzero
+  // on a malformed --threads/--scale instead of silently ignoring it.
+
+  /// The flag (or env) value parsed as a full unsigned decimal integer;
+  /// InvalidArgument if present but malformed or negative.
+  Expected<unsigned> getStrictUnsigned(const std::string &Name,
+                                       unsigned Default) const;
+
+  /// The flag (or env) value parsed as a full floating-point number;
+  /// InvalidArgument if present but malformed.
+  Expected<double> getStrictDouble(const std::string &Name,
+                                   double Default) const;
 
 private:
   std::map<std::string, std::string> Values;

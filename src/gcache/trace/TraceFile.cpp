@@ -2,6 +2,8 @@
 
 #include "gcache/trace/TraceFile.h"
 
+#include "gcache/support/FaultInjector.h"
+
 #include <cassert>
 #include <cstring>
 
@@ -35,12 +37,14 @@ uint32_t get32(const uint8_t *P) {
 }
 } // namespace
 
-bool TraceWriter::open(const std::string &Path) {
+Status TraceWriter::open(const std::string &Path) {
   assert(!File && "writer already open");
   File = std::fopen(Path.c_str(), "wb");
   if (!File)
-    return false;
+    return Status::failf(StatusCode::IoError, "cannot open '%s' for writing",
+                         Path.c_str());
   Records = 0;
+  StreamStatus = Status();
   // Placeholder header; record count is patched in close().
   uint8_t Header[16] = {};
   std::memcpy(Header, Magic, 4);
@@ -48,14 +52,23 @@ bool TraceWriter::open(const std::string &Path) {
   if (std::fwrite(Header, 1, sizeof(Header), File) != sizeof(Header)) {
     std::fclose(File);
     File = nullptr;
-    return false;
+    return Status::failf(StatusCode::IoError,
+                         "short write of trace header to '%s'", Path.c_str());
   }
-  return true;
+  return Status();
 }
 
 void TraceWriter::emit(uint8_t Op, uint32_t A, uint32_t B, bool HasB) {
-  if (!File)
+  if (!File || !StreamStatus.ok())
     return;
+  // trace-write fault site: simulate disk-full at the Nth emitted record.
+  if (faultInjector().shouldFire(FaultSite::TraceShortWrite)) {
+    StreamStatus = Status::failf(
+        StatusCode::IoError,
+        "injected short write at trace record %llu (site trace-write)",
+        static_cast<unsigned long long>(Records));
+    return;
+  }
   uint8_t Buf[9];
   Buf[0] = Op;
   put32(Buf + 1, A);
@@ -64,7 +77,12 @@ void TraceWriter::emit(uint8_t Op, uint32_t A, uint32_t B, bool HasB) {
     put32(Buf + 5, B);
     Len = 9;
   }
-  std::fwrite(Buf, 1, Len, File);
+  if (std::fwrite(Buf, 1, Len, File) != Len) {
+    StreamStatus = Status::failf(
+        StatusCode::IoError, "short write at trace record %llu",
+        static_cast<unsigned long long>(Records));
+    return;
+  }
   ++Records;
 }
 
@@ -82,17 +100,22 @@ void TraceWriter::onAlloc(Address Addr, uint32_t Bytes) {
 void TraceWriter::onGcBegin() { emit(OpGcBegin, 0, 0, /*HasB=*/false); }
 void TraceWriter::onGcEnd() { emit(OpGcEnd, 0, 0, /*HasB=*/false); }
 
-bool TraceWriter::close() {
+Status TraceWriter::close() {
   if (!File)
-    return false;
+    return Status::fail(StatusCode::IoError, "trace writer is not open");
+  Status Result = StreamStatus;
   uint8_t Count[8];
   put32(Count, static_cast<uint32_t>(Records));
   put32(Count + 4, static_cast<uint32_t>(Records >> 32));
-  bool Ok = std::fseek(File, 8, SEEK_SET) == 0 &&
-            std::fwrite(Count, 1, 8, File) == 8;
-  Ok = std::fclose(File) == 0 && Ok;
+  if (Result.ok() && (std::fseek(File, 8, SEEK_SET) != 0 ||
+                      std::fwrite(Count, 1, 8, File) != 8 ||
+                      std::fflush(File) != 0))
+    Result = Status::fail(StatusCode::IoError,
+                          "failed to finalize trace header");
+  if (std::fclose(File) != 0 && Result.ok())
+    Result = Status::fail(StatusCode::IoError, "fclose failed on trace file");
   File = nullptr;
-  return Ok;
+  return Result;
 }
 
 TraceWriter::~TraceWriter() {

@@ -15,11 +15,17 @@
 /// followed by a 4-byte little-endian address and, for allocations, a
 /// 4-byte size instead of the address-only payload.
 ///
+/// Error handling: open() and close() return Status; mid-stream write
+/// failures (short fwrite, injected trace-write disk-full) latch a sticky
+/// IoError visible through status(), and the writer stops emitting so a
+/// single failure does not cascade into thousands of fwrite errors.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef GCACHE_TRACE_TRACEFILE_H
 #define GCACHE_TRACE_TRACEFILE_H
 
+#include "gcache/support/Status.h"
 #include "gcache/trace/Event.h"
 
 #include <cstdio>
@@ -30,14 +36,22 @@ namespace gcache {
 /// Streams trace events to a binary file.
 class TraceWriter final : public TraceSink {
 public:
-  /// Opens \p Path for writing; returns false (and stays closed) on error.
-  bool open(const std::string &Path);
+  /// Opens \p Path for writing; on error returns IoError and stays
+  /// closed.
+  Status open(const std::string &Path);
 
-  /// Finalizes the header and closes the file. Returns false on I/O error.
-  bool close();
+  /// Finalizes the header and closes the file. Returns the sticky stream
+  /// status: any short write during the stream (including an injected
+  /// trace-write fault) or a failed seek/flush/close surfaces here.
+  Status close();
 
   bool isOpen() const { return File != nullptr; }
   uint64_t recordCount() const { return Records; }
+
+  /// Sticky stream state: Ok until the first write failure, then the
+  /// IoError that stopped the stream. TraceSink callbacks cannot return
+  /// errors, so mid-run failures are reported here and at close().
+  const Status &status() const { return StreamStatus; }
 
   void onRef(const Ref &R) override;
   void onAlloc(Address Addr, uint32_t Bytes) override;
@@ -51,6 +65,7 @@ private:
 
   FILE *File = nullptr;
   uint64_t Records = 0;
+  Status StreamStatus;
 };
 
 /// Replays a binary trace file into a sink.

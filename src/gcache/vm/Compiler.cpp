@@ -2,7 +2,19 @@
 
 #include "gcache/vm/Compiler.h"
 
+#include <cstdarg>
+#include <cstdio>
+
 using namespace gcache;
+
+void gcache::compileFatal(const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  char Buf[512];
+  std::vsnprintf(Buf, sizeof(Buf), Fmt, Args);
+  va_end(Args);
+  throw StatusError(Status::fail(StatusCode::CompileError, Buf));
+}
 
 //===----------------------------------------------------------------------===//
 // Small helpers
@@ -66,13 +78,13 @@ Compiler::expandInternalDefines(const std::vector<Sexpr> &Body, size_t From) {
   for (Sexpr &D : Defines) {
     if (D[1].K == Sexpr::Kind::Symbol) {
       if (D.size() != 3)
-        vmFatal("malformed internal define: %s", D.toString().c_str());
+        compileFatal("malformed internal define: %s", D.toString().c_str());
       Bindings.push_back(Sexpr::list({D[1], D[2]}));
       continue;
     }
     if (!D[1].isList() || D[1].size() < 1 ||
         D[1].Elems[0].K != Sexpr::Kind::Symbol)
-      vmFatal("malformed internal define: %s", D.toString().c_str());
+      compileFatal("malformed internal define: %s", D.toString().c_str());
     Sexpr Params = D[1];
     Sexpr Name = Params.Elems[0];
     Params.Elems.erase(Params.Elems.begin());
@@ -82,7 +94,7 @@ Compiler::expandInternalDefines(const std::vector<Sexpr> &Body, size_t From) {
     Bindings.push_back(Sexpr::list({Name, Sexpr::list(std::move(Lambda))}));
   }
   if (Rest.empty())
-    vmFatal("body consists only of internal defines");
+    compileFatal("body consists only of internal defines");
 
   std::vector<Sexpr> Letrec = {Sexpr::symbol("letrec"),
                                Sexpr::list(std::move(Bindings))};
@@ -134,7 +146,7 @@ void Compiler::compileVarRef(FnCtx &Ctx, const std::string &Name) {
 
 void Compiler::compileSet(FnCtx &Ctx, const Sexpr &S) {
   if (S.size() != 3 || S[1].K != Sexpr::Kind::Symbol)
-    vmFatal("malformed set!: %s", S.toString().c_str());
+    compileFatal("malformed set!: %s", S.toString().c_str());
   const std::string &Name = S[1].Text;
   Loc L = resolve(Ctx, Name);
   switch (L.K) {
@@ -162,7 +174,7 @@ void Compiler::compileSet(FnCtx &Ctx, const Sexpr &S) {
 void Compiler::compileLambda(FnCtx &Parent, const Sexpr &S,
                              const std::string &Name) {
   if (S.size() < 3)
-    vmFatal("malformed lambda: %s", S.toString().c_str());
+    compileFatal("malformed lambda: %s", S.toString().c_str());
 
   FnCtx Ctx;
   Ctx.Parent = &Parent;
@@ -179,16 +191,16 @@ void Compiler::compileLambda(FnCtx &Parent, const Sexpr &S,
   } else if (Formals.isList()) {
     for (const Sexpr &P : Formals.Elems) {
       if (P.K != Sexpr::Kind::Symbol)
-        vmFatal("bad parameter in %s", S.toString().c_str());
+        compileFatal("bad parameter in %s", S.toString().c_str());
       Params.push_back(P.Text);
     }
     if (Formals.DottedTail) {
       if (Formals.DottedTail->K != Sexpr::Kind::Symbol)
-        vmFatal("bad rest parameter in %s", S.toString().c_str());
+        compileFatal("bad rest parameter in %s", S.toString().c_str());
       RestName = Formals.DottedTail->Text;
     }
   } else {
-    vmFatal("bad formals in %s", S.toString().c_str());
+    compileFatal("bad formals in %s", S.toString().c_str());
   }
 
   Ctx.Code.NumRequired = static_cast<uint32_t>(Params.size());
@@ -227,7 +239,7 @@ void Compiler::compileLambda(FnCtx &Parent, const Sexpr &S,
       emit(Parent, Op::FreeRef, L.Index);
       break;
     case Loc::Kind::Global:
-      vmFatal("free variable %s resolved to a global", FV.Name.c_str());
+      compileFatal("free variable %s resolved to a global", FV.Name.c_str());
     }
   }
   emit(Parent, Op::MakeClosure, CodeId,
@@ -253,7 +265,7 @@ void Compiler::compileBody(FnCtx &Ctx, const std::vector<Sexpr> &Forms,
 
 void Compiler::compileLet(FnCtx &Ctx, const Sexpr &S, bool Tail) {
   if (S.size() < 3 || !S[1].isList())
-    vmFatal("malformed let: %s", S.toString().c_str());
+    compileFatal("malformed let: %s", S.toString().c_str());
   const Sexpr &Bindings = S[1];
 
   // Evaluate all inits before any binding becomes visible.
@@ -266,7 +278,7 @@ void Compiler::compileLet(FnCtx &Ctx, const Sexpr &S, bool Tail) {
   uint32_t SavedNext = Ctx.NextSlot;
   for (const Sexpr &B : Bindings.Elems) {
     if (!B.isList() || B.size() != 2 || B[0].K != Sexpr::Kind::Symbol)
-      vmFatal("malformed let binding in %s", S.toString().c_str());
+      compileFatal("malformed let binding in %s", S.toString().c_str());
     compileExpr(Ctx, B[1], /*Tail=*/false);
     News.push_back({B[0].Text, 0, Ctx.Assigned.count(B[0].Text) != 0});
   }
@@ -288,7 +300,7 @@ void Compiler::compileLet(FnCtx &Ctx, const Sexpr &S, bool Tail) {
 
 void Compiler::compileLetrec(FnCtx &Ctx, const Sexpr &S, bool Tail) {
   if (S.size() < 3 || !S[1].isList())
-    vmFatal("malformed letrec: %s", S.toString().c_str());
+    compileFatal("malformed letrec: %s", S.toString().c_str());
   const Sexpr &Bindings = S[1];
 
   uint32_t SavedNext = Ctx.NextSlot;
@@ -298,7 +310,7 @@ void Compiler::compileLetrec(FnCtx &Ctx, const Sexpr &S, bool Tail) {
   // evaluate the inits left to right with all bindings visible.
   for (const Sexpr &B : Bindings.Elems) {
     if (!B.isList() || B.size() != 2 || B[0].K != Sexpr::Kind::Symbol)
-      vmFatal("malformed letrec binding in %s", S.toString().c_str());
+      compileFatal("malformed letrec binding in %s", S.toString().c_str());
     uint32_t Slot = allocSlot(Ctx);
     Slots.push_back(Slot);
     emit(Ctx, Op::PushUnspec);
@@ -327,14 +339,14 @@ void Compiler::compileNamedLet(FnCtx &Ctx, const Sexpr &S, bool Tail) {
   // (let loop ((v i)...) body...) ->
   // (letrec ((loop (lambda (v...) body...))) (loop i...))
   if (S.size() < 4 || !S[2].isList())
-    vmFatal("malformed named let: %s", S.toString().c_str());
+    compileFatal("malformed named let: %s", S.toString().c_str());
   const std::string &Name = S[1].Text;
 
   std::vector<Sexpr> Params;
   std::vector<Sexpr> Inits;
   for (const Sexpr &B : S[2].Elems) {
     if (!B.isList() || B.size() != 2 || B[0].K != Sexpr::Kind::Symbol)
-      vmFatal("malformed named-let binding in %s", S.toString().c_str());
+      compileFatal("malformed named-let binding in %s", S.toString().c_str());
     Params.push_back(B[0]);
     Inits.push_back(B[1]);
   }
@@ -377,7 +389,7 @@ void Compiler::compileCall(FnCtx &Ctx, const Sexpr &S, bool Tail) {
           emit(Ctx, Op::Prim, static_cast<uint32_t>(Pid), Argc);
           return;
         }
-        vmFatal("%s: bad argument count %u", S[0].Text.c_str(), Argc);
+        compileFatal("%s: bad argument count %u", S[0].Text.c_str(), Argc);
       }
     }
   }
@@ -409,7 +421,7 @@ void Compiler::compileExpr(FnCtx &Ctx, const Sexpr &S, bool Tail) {
   }
 
   if (S.Elems.empty())
-    vmFatal("cannot compile the empty combination ()");
+    compileFatal("cannot compile the empty combination ()");
   const Sexpr &Head = S[0];
 
   if (Head.K == Sexpr::Kind::Symbol) {
@@ -417,13 +429,13 @@ void Compiler::compileExpr(FnCtx &Ctx, const Sexpr &S, bool Tail) {
 
     if (Sym == "quote") {
       if (S.size() != 2)
-        vmFatal("malformed quote");
+        compileFatal("malformed quote");
       emit(Ctx, Op::Const, addConst(Ctx, M.datumToValue(S[1])));
       return;
     }
     if (Sym == "if") {
       if (S.size() != 3 && S.size() != 4)
-        vmFatal("malformed if: %s", S.toString().c_str());
+        compileFatal("malformed if: %s", S.toString().c_str());
       compileExpr(Ctx, S[1], /*Tail=*/false);
       size_t ElseJump = emitPlaceholder(Ctx, Op::JumpIfFalse);
       compileExpr(Ctx, S[2], Tail);
@@ -451,12 +463,12 @@ void Compiler::compileExpr(FnCtx &Ctx, const Sexpr &S, bool Tail) {
     if (Sym == "define") {
       // Top-level define only (internal defines were rewritten).
       if (Ctx.Parent)
-        vmFatal("define in expression position: %s", S.toString().c_str());
+        compileFatal("define in expression position: %s", S.toString().c_str());
       if (S.size() >= 2 && S[1].isList()) {
         // (define (f . a) body...)
         Sexpr Params = S[1];
         if (Params.Elems.empty() || Params.Elems[0].K != Sexpr::Kind::Symbol)
-          vmFatal("malformed define: %s", S.toString().c_str());
+          compileFatal("malformed define: %s", S.toString().c_str());
         std::string Name = Params.Elems[0].Text;
         Params.Elems.erase(Params.Elems.begin());
         std::vector<Sexpr> Lambda = {Sexpr::symbol("lambda"), Params};
@@ -467,7 +479,7 @@ void Compiler::compileExpr(FnCtx &Ctx, const Sexpr &S, bool Tail) {
         return;
       }
       if (S.size() != 3 || S[1].K != Sexpr::Kind::Symbol)
-        vmFatal("malformed define: %s", S.toString().c_str());
+        compileFatal("malformed define: %s", S.toString().c_str());
       if (S[2].isList() && !S[2].Elems.empty() &&
           S[2].Elems[0].isSymbol("lambda"))
         compileLambda(Ctx, S[2], S[1].Text);
@@ -485,7 +497,7 @@ void Compiler::compileExpr(FnCtx &Ctx, const Sexpr &S, bool Tail) {
     }
     if (Sym == "let*") {
       if (S.size() < 3 || !S[1].isList())
-        vmFatal("malformed let*: %s", S.toString().c_str());
+        compileFatal("malformed let*: %s", S.toString().c_str());
       if (S[1].Elems.size() <= 1) {
         Sexpr Rewrite = S;
         Rewrite.Elems[0] = Sexpr::symbol("let");
@@ -518,7 +530,7 @@ void Compiler::compileExpr(FnCtx &Ctx, const Sexpr &S, bool Tail) {
         }
         const Sexpr &Clause = S[I];
         if (!Clause.isList() || Clause.Elems.empty())
-          vmFatal("malformed cond clause: %s", S.toString().c_str());
+          compileFatal("malformed cond clause: %s", S.toString().c_str());
         if (Clause[0].isSymbol("else")) {
           std::vector<Sexpr> Begin = {Sexpr::symbol("begin")};
           for (size_t J = 1; J < Clause.size(); ++J)
@@ -550,13 +562,13 @@ void Compiler::compileExpr(FnCtx &Ctx, const Sexpr &S, bool Tail) {
       // (case key clauses...) ->
       // (let ((%case-N key)) (cond ((memv %case-N 'datums) body)... ))
       if (S.size() < 3)
-        vmFatal("malformed case: %s", S.toString().c_str());
+        compileFatal("malformed case: %s", S.toString().c_str());
       std::string Tmp = "%case-" + std::to_string(++TempCounter);
       std::vector<Sexpr> Cond = {Sexpr::symbol("cond")};
       for (size_t I = 2; I < S.size(); ++I) {
         const Sexpr &Clause = S[I];
         if (!Clause.isList() || Clause.size() < 2)
-          vmFatal("malformed case clause: %s", S.toString().c_str());
+          compileFatal("malformed case clause: %s", S.toString().c_str());
         std::vector<Sexpr> NewClause;
         if (Clause[0].isSymbol("else")) {
           NewClause.push_back(Sexpr::symbol("else"));
@@ -619,12 +631,12 @@ void Compiler::compileExpr(FnCtx &Ctx, const Sexpr &S, bool Tail) {
     }
     if (Sym == "quasiquote") {
       if (S.size() != 2)
-        vmFatal("malformed quasiquote: %s", S.toString().c_str());
+        compileFatal("malformed quasiquote: %s", S.toString().c_str());
       compileExpr(Ctx, expandQuasi(S[1], 1), Tail);
       return;
     }
     if (Sym == "unquote" || Sym == "unquote-splicing") {
-      vmFatal("%s outside quasiquote: %s", Sym.c_str(),
+      compileFatal("%s outside quasiquote: %s", Sym.c_str(),
               S.toString().c_str());
     }
     if (Sym == "call-with-current-continuation" || Sym == "call/cc") {
@@ -633,7 +645,7 @@ void Compiler::compileExpr(FnCtx &Ctx, const Sexpr &S, bool Tail) {
       // continuations do not cross top-level form boundaries, and
       // escapes across an `apply` reentrancy boundary are unsupported.
       if (S.size() != 2)
-        vmFatal("malformed call/cc: %s", S.toString().c_str());
+        compileFatal("malformed call/cc: %s", S.toString().c_str());
       compileExpr(Ctx, S[1], /*Tail=*/false);
       emit(Ctx, Op::CallCC);
       return;
@@ -644,7 +656,7 @@ void Compiler::compileExpr(FnCtx &Ctx, const Sexpr &S, bool Tail) {
     }
     if (Sym == "when" || Sym == "unless") {
       if (S.size() < 3)
-        vmFatal("malformed %s: %s", Sym.c_str(), S.toString().c_str());
+        compileFatal("malformed %s: %s", Sym.c_str(), S.toString().c_str());
       std::vector<Sexpr> Begin = {Sexpr::symbol("begin")};
       for (size_t I = 2; I < S.size(); ++I)
         Begin.push_back(S[I]);
@@ -713,7 +725,7 @@ Sexpr Compiler::expandDo(const Sexpr &S) {
   // (let %do-N ((v init)...)
   //   (if test (begin res...) (begin body... (%do-N step...))))
   if (S.size() < 3 || !S[1].isList() || !S[2].isList() || S[2].size() < 1)
-    vmFatal("malformed do: %s", S.toString().c_str());
+    compileFatal("malformed do: %s", S.toString().c_str());
   std::string Loop = "%do-" + std::to_string(++TempCounter);
 
   std::vector<Sexpr> Bindings;
@@ -721,7 +733,7 @@ Sexpr Compiler::expandDo(const Sexpr &S) {
   for (const Sexpr &B : S[1].Elems) {
     if (!B.isList() || B.size() < 2 || B.size() > 3 ||
         B[0].K != Sexpr::Kind::Symbol)
-      vmFatal("malformed do binding: %s", S.toString().c_str());
+      compileFatal("malformed do binding: %s", S.toString().c_str());
     Bindings.push_back(Sexpr::list({B[0], B[1]}));
     Steps.push_back(B.size() == 3 ? B[2] : B[0]);
   }
@@ -770,7 +782,7 @@ uint32_t Compiler::compileToplevel(const Sexpr &Form) {
 Value gcache::compileAndRun(VM &M, const std::string &Source) {
   ReadResult R = readAll(Source);
   if (!R.Ok)
-    vmFatal("%s", R.Error.c_str());
+    throw StatusError(Status::fail(StatusCode::ParseError, R.Error));
   Compiler C(M);
   Value Result = Value::unspecified();
   for (const Sexpr &Form : R.Data) {
@@ -778,4 +790,12 @@ Value gcache::compileAndRun(VM &M, const std::string &Source) {
     Result = M.executeCode(Id);
   }
   return Result;
+}
+
+Expected<Value> gcache::tryCompileAndRun(VM &M, const std::string &Source) {
+  try {
+    return compileAndRun(M, Source);
+  } catch (const StatusError &E) {
+    return E.status();
+  }
 }

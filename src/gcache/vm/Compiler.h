@@ -104,10 +104,25 @@ private:
   uint64_t TempCounter = 0; ///< For hygienic desugaring temps.
 };
 
+/// Fatal compile-time error (malformed special form, bad formals, ...).
+/// Raises StatusError(CompileError); see the error-propagation
+/// conventions in support/Status.h.
+[[noreturn]] void compileFatal(const char *Fmt, ...)
+#if defined(__GNUC__) || defined(__clang__)
+    __attribute__((format(printf, 1, 2)))
+#endif
+    ;
+
 /// Convenience: reads, compiles and runs all forms in \p Source on \p M.
 /// Returns the value of the last form (unspecified for an empty source).
-/// Aborts via vmFatal on read or compile errors.
+/// Raises StatusError on read (ParseError), compile (CompileError), or
+/// runtime (VmError) failure.
 Value compileAndRun(VM &M, const std::string &Source);
+
+/// compileAndRun with the failure surfaced as an Expected instead of an
+/// exception — the reader/compiler unit-boundary API (malformed-source
+/// tests assert on the returned Status).
+Expected<Value> tryCompileAndRun(VM &M, const std::string &Source);
 
 } // namespace gcache
 

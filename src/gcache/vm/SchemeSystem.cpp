@@ -2,6 +2,7 @@
 
 #include "gcache/vm/SchemeSystem.h"
 
+#include "gcache/support/FaultInjector.h"
 #include "gcache/vm/Compiler.h"
 #include "gcache/vm/Prelude.h"
 #include "gcache/vm/Primitives.h"
@@ -35,6 +36,7 @@ SchemeSystem::SchemeSystem(const SchemeSystemConfig &Config) : Config(Config) {
         *TheHeap, *TheVM, 2 * Config.SemispaceBytes);
     break;
   }
+  TheCollector->setParanoid(Config.Paranoid);
   TheVM->setCollector(TheCollector.get());
 
   registerPrimitives(*TheVM);
@@ -52,7 +54,7 @@ void SchemeSystem::loadDefinitions(const std::string &Source) {
 Value SchemeSystem::run(const std::string &Source) {
   ReadResult R = readAll(Source);
   if (!R.Ok)
-    vmFatal("%s", R.Error.c_str());
+    throw StatusError(Status::fail(StatusCode::ParseError, R.Error));
 
   // Compile everything up front (still load mode: quoted data and code
   // become static), then execute traced.
@@ -72,8 +74,16 @@ Value SchemeSystem::run(const std::string &Source) {
   GcStats Gc0 = TheCollector->stats();
 
   Value Result = Value::unspecified();
-  for (uint32_t Id : Ids)
+  FaultInjector &Fi = faultInjector();
+  for (uint32_t Id : Ids) {
+    // step-abort fault site: one hit per toplevel form of the measured run.
+    if (Fi.shouldFire(FaultSite::StepAbort))
+      throw StatusError(Status::failf(
+          StatusCode::Aborted,
+          "injected workload-step abort before toplevel form %u (site %s)", Id,
+          faultSiteName(FaultSite::StepAbort)));
     Result = TheVM->executeCode(Id);
+  }
 
   TheHeap->setTracing(false);
 

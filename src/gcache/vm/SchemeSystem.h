@@ -49,6 +49,11 @@ struct SchemeSystemConfig {
   bool EchoOutput = false;
   /// Seed for the static-area scatter layout (0 = default layout).
   uint64_t LayoutSeed = 0;
+  /// Run verifyHeapRange over the live heap after every collection and at
+  /// every injected allocation failure. Verification only peeks (untraced
+  /// reads), so all simulated counters stay bit-identical; see
+  /// Collector::setParanoid.
+  bool Paranoid = false;
 };
 
 /// Statistics of one measured run.
@@ -75,6 +80,9 @@ public:
 
   /// Compiles \p Source, then executes it traced in run mode, returning
   /// the value of the last form. Statistics land in lastRunStats().
+  /// Raises StatusError on read/compile/runtime failure or an injected
+  /// fault (heap-oom, step-abort, ...); the experiment layer catches it
+  /// at the unit boundary (Experiment::tryRunProgram).
   Value run(const std::string &Source);
 
   const RunStats &lastRunStats() const { return LastRun; }

@@ -13,11 +13,10 @@ using namespace gcache;
 void gcache::vmFatal(const char *Fmt, ...) {
   va_list Args;
   va_start(Args, Fmt);
-  std::fprintf(stderr, "gcache vm fatal: ");
-  std::vfprintf(stderr, Fmt, Args);
-  std::fprintf(stderr, "\n");
+  char Buf[512];
+  std::vsnprintf(Buf, sizeof(Buf), Fmt, Args);
   va_end(Args);
-  std::abort();
+  throw StatusError(Status::fail(StatusCode::VmError, Buf));
 }
 
 namespace {

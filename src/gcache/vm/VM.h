@@ -66,8 +66,15 @@ struct Primitive {
 };
 
 /// Fatal runtime error (type error, unbound variable, arity mismatch).
-/// The workloads are closed programs, so these abort the simulation.
-[[noreturn]] void vmFatal(const char *Fmt, ...);
+/// Raises StatusError(VmError): the failing unit's VM state becomes
+/// unspecified and the unit must be discarded, but unit boundaries
+/// (tryRunProgram, the bench drivers) catch it and continue the rest of
+/// the grid.
+[[noreturn]] void vmFatal(const char *Fmt, ...)
+#if defined(__GNUC__) || defined(__clang__)
+    __attribute__((format(printf, 1, 2)))
+#endif
+    ;
 
 /// The virtual machine. Also the collectors' MutatorContext.
 class VM final : public MutatorContext {

@@ -157,12 +157,12 @@ TEST(Experiment, RecordedTraceReplaysIdentically) {
   // execution-driven one.
   std::string Path = std::string(::testing::TempDir()) + "/orbit.gct";
   TraceWriter Writer;
-  ASSERT_TRUE(Writer.open(Path));
+  ASSERT_TRUE(Writer.open(Path).ok());
   Cache Live({.SizeBytes = 32 << 10, .BlockBytes = 64});
   ExperimentOptions O = quickOpts(CacheGridKind::None);
   O.ExtraSinks = {&Writer, &Live};
   ProgramRun Run = runProgram(orbitWorkload(), O);
-  ASSERT_TRUE(Writer.close());
+  ASSERT_TRUE(Writer.close().ok());
 
   Cache Replayed({.SizeBytes = 32 << 10, .BlockBytes = 64});
   ASSERT_GT(TraceReader::replay(Path, Replayed), 0);

@@ -32,7 +32,7 @@ const std::string &recordedTracePath() {
     std::string P =
         std::string(::testing::TempDir()) + "/parallel_bank_nbody.gct";
     TraceWriter W;
-    EXPECT_TRUE(W.open(P));
+    EXPECT_TRUE(W.open(P).ok());
     ExperimentOptions O;
     O.Scale = 0.05;
     O.Gc = GcKind::Cheney;
@@ -41,7 +41,7 @@ const std::string &recordedTracePath() {
     O.ExtraSinks = {&W};
     ProgramRun Run = runProgram(nbodyWorkload(), O);
     EXPECT_GT(Run.Collections, 0u) << "trace must contain GC phases";
-    EXPECT_TRUE(W.close());
+    EXPECT_TRUE(W.close().ok());
     EXPECT_GT(W.recordCount(), 0u);
     return P;
   }();

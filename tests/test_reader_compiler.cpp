@@ -2,10 +2,13 @@
 
 #include "gcache/vm/Compiler.h"
 #include "gcache/vm/Primitives.h"
+#include "gcache/vm/SchemeSystem.h"
 #include "gcache/vm/Sexpr.h"
 #include "gcache/vm/VM.h"
 
 #include <gtest/gtest.h>
+
+#include <memory>
 
 using namespace gcache;
 
@@ -247,4 +250,70 @@ TEST_F(CompileFixture, SiblingLetsReuseSlots) {
   const CodeObject &B = compile("(let ((x 1)) (let ((y 2)) y))");
   EXPECT_EQ(A.NumLocals, 1u) << "sibling lets share a slot";
   EXPECT_EQ(B.NumLocals, 2u) << "nested lets stack";
+}
+
+//===----------------------------------------------------------------------===//
+// Structured errors at the compile-and-run unit boundary
+//===----------------------------------------------------------------------===//
+
+// tryCompileAndRun is the unit boundary for source text: reader, compiler,
+// and runtime failures all come back as an Expected carrying the right
+// StatusCode instead of escaping as exceptions (or worse, aborts).
+namespace {
+
+class UnitBoundary : public ::testing::Test {
+protected:
+  UnitBoundary() {
+    SchemeSystemConfig C;
+    S = std::make_unique<SchemeSystem>(C);
+  }
+
+  Status statusOf(const std::string &Source) {
+    Expected<Value> R = tryCompileAndRun(S->vm(), Source);
+    return R.ok() ? Status() : R.status();
+  }
+
+  std::unique_ptr<SchemeSystem> S;
+};
+
+} // namespace
+
+TEST_F(UnitBoundary, WellFormedSourceSucceeds) {
+  Expected<Value> R = tryCompileAndRun(S->vm(), "(+ 20 22)");
+  ASSERT_TRUE(R.ok()) << R.status().toString();
+  EXPECT_EQ((*R).asFixnum(), 42);
+}
+
+TEST_F(UnitBoundary, MalformedSourceIsAParseError) {
+  for (const char *Bad : {"(unclosed", ")", "\"unterminated", "(a . b . c)"}) {
+    Status St = statusOf(Bad);
+    ASSERT_FALSE(St.ok()) << "accepted '" << Bad << "'";
+    EXPECT_EQ(St.code(), StatusCode::ParseError) << St.toString();
+  }
+}
+
+TEST_F(UnitBoundary, BadSpecialFormsAreCompileErrors) {
+  for (const char *Bad : {"(if)", "(quote)", "(lambda)", "(set! 3 4)",
+                          "(define)", "(let ((x)) x)"}) {
+    Status St = statusOf(Bad);
+    ASSERT_FALSE(St.ok()) << "compiled '" << Bad << "'";
+    EXPECT_EQ(St.code(), StatusCode::CompileError) << St.toString();
+  }
+}
+
+TEST_F(UnitBoundary, RuntimeFailuresAreVmErrors) {
+  for (const char *Bad : {"(car 5)", "(undefined-function 1)",
+                          "(vector-ref (vector 1) 9)", "(+ 'a 1)"}) {
+    Status St = statusOf(Bad);
+    ASSERT_FALSE(St.ok()) << "ran '" << Bad << "'";
+    EXPECT_EQ(St.code(), StatusCode::VmError) << St.toString();
+  }
+}
+
+TEST_F(UnitBoundary, FailedUnitDoesNotPoisonTheNext) {
+  ASSERT_FALSE(statusOf("(car 5)").ok());
+  Expected<Value> R = tryCompileAndRun(S->vm(), "(* 6 7)");
+  ASSERT_TRUE(R.ok()) << "the VM must accept new units after a failure: "
+                      << R.status().toString();
+  EXPECT_EQ((*R).asFixnum(), 42);
 }

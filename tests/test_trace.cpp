@@ -66,7 +66,7 @@ std::string tempPath(const char *Name) {
 TEST(TraceFile, RoundTrip) {
   std::string Path = tempPath("trace_roundtrip.gct");
   TraceWriter W;
-  ASSERT_TRUE(W.open(Path));
+  ASSERT_TRUE(W.open(Path).ok());
   W.onRef({0x1000, AccessKind::Load, Phase::Mutator});
   W.onRef({0x1004, AccessKind::Store, Phase::Mutator});
   W.onGcBegin();
@@ -75,7 +75,7 @@ TEST(TraceFile, RoundTrip) {
   W.onAlloc(0x3000, 24);
   W.onRef({0x3000, AccessKind::Store, Phase::Mutator});
   EXPECT_EQ(W.recordCount(), 7u);
-  ASSERT_TRUE(W.close());
+  ASSERT_TRUE(W.close().ok());
 
   struct Recorder final : TraceSink {
     std::vector<Ref> Refs;
@@ -196,12 +196,42 @@ TEST(TraceFile, RejectsRecordCountMismatchWithoutMutatingSink) {
 TEST(TraceFile, EmptyTraceRoundTrips) {
   std::string Path = tempPath("empty.gct");
   TraceWriter W;
-  ASSERT_TRUE(W.open(Path));
-  ASSERT_TRUE(W.close());
+  ASSERT_TRUE(W.open(Path).ok());
+  ASSERT_TRUE(W.close().ok());
   CountingSink S;
   EXPECT_EQ(TraceReader::replay(Path, S), 0);
   EXPECT_EQ(S.totalRefs(), 0u);
   std::remove(Path.c_str());
+}
+
+TEST(TraceFile, OpenReportsUnwritablePathAsIoError) {
+  TraceWriter W;
+  Status S = W.open("/nonexistent-gcache-dir/trace.gct");
+  ASSERT_FALSE(S.ok());
+  EXPECT_EQ(S.code(), StatusCode::IoError);
+  EXPECT_NE(S.message().find("/nonexistent-gcache-dir/trace.gct"),
+            std::string::npos)
+      << "error must name the path: " << S.message();
+  EXPECT_FALSE(W.isOpen()) << "a failed open must leave the writer closed";
+}
+
+TEST(TraceFile, CloseWithoutOpenIsAnError) {
+  TraceWriter W;
+  Status S = W.close();
+  ASSERT_FALSE(S.ok());
+  EXPECT_EQ(S.code(), StatusCode::IoError);
+}
+
+TEST(TraceFile, EmitAfterFailedOpenIsSafe) {
+  TraceWriter W;
+  ASSERT_FALSE(W.open("/nonexistent-gcache-dir/trace.gct").ok());
+  // Sinks can't report errors from callbacks; a closed writer must simply
+  // ignore events rather than crash.
+  W.onRef({0x1000, AccessKind::Load, Phase::Mutator});
+  W.onGcBegin();
+  W.onAlloc(0x2000, 16);
+  EXPECT_EQ(W.recordCount(), 0u);
+  EXPECT_TRUE(W.status().ok()) << "no stream error: nothing was streamed";
 }
 
 // The golden replay loop the TraceFile.h header promises: a live run
@@ -211,7 +241,7 @@ TEST(TraceFile, EmptyTraceRoundTrips) {
 TEST(TraceFile, GoldenReplayMatchesLiveRun) {
   std::string Path = tempPath("golden_replay.gct");
   TraceWriter W;
-  ASSERT_TRUE(W.open(Path));
+  ASSERT_TRUE(W.open(Path).ok());
 
   ExperimentOptions Opts;
   Opts.Scale = 0.05;
@@ -221,7 +251,7 @@ TEST(TraceFile, GoldenReplayMatchesLiveRun) {
   Opts.ExtraSinks = {&W};
   ProgramRun Live = runProgram(nbodyWorkload(), Opts);
   ASSERT_GT(Live.Collections, 0u) << "need collector phases in the trace";
-  ASSERT_TRUE(W.close());
+  ASSERT_TRUE(W.close().ok());
 
   CacheBank Replayed;
   Replayed.addPaperGrid(CacheConfig{});
