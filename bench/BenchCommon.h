@@ -18,6 +18,18 @@
 ///   --paranoid   verify the live heap after every collection and at
 ///                every injected allocation failure (counters stay
 ///                bit-identical; see Collector::setParanoid)
+///   --checkpoint-dir D   persist per-unit snapshots into D (crash-safe:
+///                atomic writes, CRC-validated loads; core/Checkpoint.h)
+///   --checkpoint-every N checkpoint replay-driven units every N trace
+///                records, in addition to every GC boundary
+///   --resume     skip units whose snapshot in D loads cleanly; re-run
+///                the rest (a damaged snapshot is detected and recomputed)
+///   --supervise  run the sweep in a forked child watched by a supervisor
+///                that restarts crashes/timeouts from the snapshots, up to
+///                --retries times per unit (then the unit degrades to a
+///                recorded failure), writing manifest.json into D
+///   --retries N  supervised retries per failing unit (default 2)
+///   --timeout S  kill a supervised child running longer than S seconds
 ///
 /// Unknown flags and malformed values (--threads=abc, --scale=1x,
 /// --fault=bogus) are hard errors: the binary prints a diagnostic and
@@ -27,13 +39,17 @@
 /// unit through BenchUnitRunner. A structured failure (injected fault,
 /// OOM, shard-worker failure, VM error) fails only that unit; the binary
 /// reports it, continues with the rest, and exits nonzero with a summary.
+/// Under --supervise the unit instead fast-aborts (exit 75) so the
+/// supervisor can restart it from the checkpoint directory.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef GCACHE_BENCH_BENCHCOMMON_H
 #define GCACHE_BENCH_BENCHCOMMON_H
 
+#include "gcache/core/Checkpoint.h"
 #include "gcache/core/Experiment.h"
+#include "gcache/core/Supervisor.h"
 #include "gcache/support/FaultInjector.h"
 #include "gcache/support/Options.h"
 #include "gcache/support/Table.h"
@@ -42,6 +58,8 @@
 #include <cstdlib>
 #include <initializer_list>
 #include <string>
+#include <sys/stat.h>
+#include <unistd.h>
 #include <utility>
 #include <vector>
 
@@ -53,6 +71,12 @@ struct BenchArgs {
   unsigned Threads = 0;
   bool Paranoid = false;
   std::string Workload;
+  std::string CheckpointDir;
+  unsigned CheckpointEvery = 0;
+  bool Resume = false;
+  bool Supervise = false;
+  unsigned Retries = 2;
+  unsigned TimeoutSec = 0;
   Options Opts;
 };
 
@@ -65,8 +89,11 @@ inline BenchArgs parseBenchArgs(int Argc, char **Argv,
   BenchArgs A;
   A.Opts = Options::parse(Argc, Argv);
 
-  std::vector<std::string> Known = {"scale",   "csv",   "workload",
-                                    "threads", "fault", "paranoid"};
+  std::vector<std::string> Known = {
+      "scale",          "csv",              "workload", "threads",
+      "fault",          "paranoid",         "checkpoint-dir",
+      "checkpoint-every", "resume",         "supervise",
+      "retries",        "timeout"};
   for (const char *F : ExtraFlags)
     Known.push_back(F);
   std::vector<std::string> Unknown = A.Opts.unknownFlags(Known);
@@ -105,6 +132,49 @@ inline BenchArgs parseBenchArgs(int Argc, char **Argv,
     std::fprintf(stderr, "error: --fault: %s\n", Armed.message().c_str());
     std::exit(2);
   }
+
+  // Checkpointing and supervision (core/Checkpoint.h, core/Supervisor.h).
+  A.CheckpointDir = A.Opts.get("checkpoint-dir", "");
+  Expected<unsigned> Every = A.Opts.getStrictUnsigned("checkpoint-every", 0);
+  Expected<unsigned> Retries = A.Opts.getStrictUnsigned("retries", 2);
+  Expected<unsigned> Timeout = A.Opts.getStrictUnsigned("timeout", 0);
+  for (const auto *E : {&Every, &Retries, &Timeout})
+    if (!E->ok()) {
+      std::fprintf(stderr, "error: %s\n", E->status().message().c_str());
+      std::exit(2);
+    }
+  A.CheckpointEvery = *Every;
+  A.Retries = *Retries;
+  A.TimeoutSec = *Timeout;
+  A.Resume = A.Opts.getBool("resume", false);
+  A.Supervise = A.Opts.getBool("supervise", false);
+  if (A.CheckpointDir.empty() &&
+      (A.Resume || A.Supervise || A.CheckpointEvery)) {
+    std::fprintf(stderr, "error: --resume/--supervise/--checkpoint-every "
+                         "require --checkpoint-dir\n");
+    std::exit(2);
+  }
+
+  CheckpointContext &Ctx = checkpointContext();
+  Ctx.Dir = A.CheckpointDir;
+  Ctx.EveryRefs = A.CheckpointEvery;
+  Ctx.Resume = A.Resume;
+  if (!A.CheckpointDir.empty())
+    mkdir(A.CheckpointDir.c_str(), 0755); // may already exist
+
+  if (A.Supervise) {
+    SupervisorOptions SOpts;
+    SOpts.CheckpointDir = A.CheckpointDir;
+    SOpts.MaxRetries = A.Retries;
+    SOpts.TimeoutSec = A.TimeoutSec;
+    SuperviseOutcome Outcome = superviseLoop(SOpts);
+    if (!Outcome.InChild)
+      std::exit(Outcome.ExitCode); // supervisor parent: the run is over
+    // Supervised child: always resume — restarts must skip finished
+    // units — and fast-abort on unit failure so the supervisor retries.
+    Ctx.Supervised = true;
+    Ctx.Resume = true;
+  }
   return A;
 }
 
@@ -129,13 +199,61 @@ class BenchUnitRunner {
 public:
   /// Runs \p W under \p Opts as unit \p Unit. On failure, reports and
   /// records it; the caller skips that unit's downstream tables.
+  ///
+  /// With a checkpoint directory configured (checkpointContext()), a
+  /// completed unit's results are snapshotted, --resume serves them back
+  /// without re-running, and under supervision a failing unit fast-aborts
+  /// the child so the supervisor can restart it from the snapshots. Units
+  /// with extra analysis sinks never snapshot/resume: ProgramRun cannot
+  /// capture external sink state, so they re-run (deterministically)
+  /// instead of silently resuming with empty analyses.
   Expected<ProgramRun> run(const std::string &Unit, const Workload &W,
                            const ExperimentOptions &Opts) {
+    CheckpointContext &Ctx = checkpointContext();
+    bool CanSnapshot = Ctx.enabled() && Opts.ExtraSinks.empty();
+
+    if (Ctx.enabled() && isUnitDenied(Ctx, Unit)) {
+      Status S = Status::fail(
+          StatusCode::Aborted,
+          "unit denied after exhausting supervised retries");
+      recordFailure(Unit, S);
+      return S;
+    }
+    if (CanSnapshot && Ctx.Resume) {
+      Expected<ProgramRun> Cached =
+          loadUnitSnapshot(Ctx.unitSnapshotPath(Unit), Unit, Opts.Scale);
+      if (Cached.ok()) {
+        ++Succeeded;
+        return Cached;
+      }
+      // Missing snapshot: the unit never finished — run it. A damaged
+      // snapshot (Corrupt/Truncated) is detected here and recomputed
+      // rather than trusted.
+    }
+
+    markUnitInProgress(Ctx, Unit);
     Expected<ProgramRun> R = tryRunProgram(W, Opts);
-    if (R.ok())
+    if (R.ok()) {
       ++Succeeded;
-    else
-      recordFailure(Unit, R.status());
+      if (CanSnapshot)
+        if (Status S = saveUnitSnapshot(Ctx.unitSnapshotPath(Unit), *R,
+                                        Opts.Scale);
+            !S.ok())
+          std::fprintf(stderr, "warning: %s: checkpoint not written: %s\n",
+                       Unit.c_str(), S.toString().c_str());
+      clearUnitInProgress(Ctx);
+      return R;
+    }
+    if (Ctx.Supervised) {
+      // Leave the in-progress marker for crash attribution and hand the
+      // unit back to the supervisor for a retry.
+      std::fprintf(stderr, "FAILED %s: %s (supervised: requesting retry)\n",
+                   Unit.c_str(), R.status().toString().c_str());
+      std::fflush(nullptr);
+      _exit(SupervisedAbortExit);
+    }
+    recordFailure(Unit, R.status());
+    clearUnitInProgress(Ctx);
     return R;
   }
 

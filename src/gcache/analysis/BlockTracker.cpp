@@ -123,3 +123,109 @@ BlockSummary BlockTracker::computeSummary() {
   }
   return S;
 }
+
+static void saveRecord(SnapshotWriter &W, const BlockRecord &Rec) {
+  W.putU64(Rec.FirstRef);
+  W.putU64(Rec.LastRef);
+  W.putU64(Rec.RefCount);
+  W.putU32(Rec.LastCycleSeen);
+  W.putU32(Rec.CyclesActive);
+}
+
+static BlockRecord loadRecord(SnapshotCursor &C) {
+  BlockRecord Rec;
+  Rec.FirstRef = C.getU64();
+  Rec.LastRef = C.getU64();
+  Rec.RefCount = C.getU64();
+  Rec.LastCycleSeen = C.getU32();
+  Rec.CyclesActive = C.getU32();
+  return Rec;
+}
+
+void BlockTracker::saveTo(SnapshotWriter &W) const {
+  W.beginSection(snapshotTag());
+  W.putU32(BlockBytes);
+  W.putU32(NumSlots);
+  W.putU32(RuntimeVecAddr);
+  W.putU64(Clock);
+  W.putU32(FrontierBlocks);
+  W.putU64(StackRefs);
+  W.putU8(Finalized ? 1 : 0);
+  W.putU64(Dynamic.size());
+  for (const BlockRecord &Rec : Dynamic)
+    saveRecord(W, Rec);
+  W.putU64(Static.size());
+  for (const auto &[BlockIdx, Rec] : Static) {
+    W.putU32(BlockIdx);
+    saveRecord(W, Rec);
+  }
+  Lifetimes.save(W);
+  DynRefCounts.save(W);
+  CycleLens.save(W);
+  W.putVecU64(LastAllocTime);
+}
+
+Status BlockTracker::loadFrom(const SnapshotReader &R) {
+  SnapshotCursor C = R.section(snapshotTag());
+  uint32_t SavedBlockBytes = C.getU32();
+  uint32_t SavedNumSlots = C.getU32();
+  uint32_t SavedRtAddr = C.getU32();
+  if (C.ok() && (SavedBlockBytes != BlockBytes || SavedNumSlots != NumSlots ||
+                 SavedRtAddr != RuntimeVecAddr))
+    C.fail(Status::failf(StatusCode::Corrupt,
+                         "block-tracker snapshot (block %u, slots %u) does "
+                         "not match this tracker (block %u, slots %u)",
+                         SavedBlockBytes, SavedNumSlots, BlockBytes,
+                         NumSlots));
+  uint64_t SavedClock = C.getU64();
+  uint32_t SavedFrontier = C.getU32();
+  uint64_t SavedStackRefs = C.getU64();
+  bool SavedFinalized = C.getU8() != 0;
+  uint64_t NumDynamic = C.getU64();
+  std::vector<BlockRecord> NewDynamic;
+  // Each dynamic record is 32 payload bytes; a count past remaining()/32
+  // can only be damage, so refuse before attempting a huge reserve.
+  if (C.ok() && NumDynamic > C.remaining() / 32)
+    C.fail(Status::failf(StatusCode::Truncated,
+                         "block-tracker snapshot claims %llu dynamic records",
+                         static_cast<unsigned long long>(NumDynamic)));
+  if (C.ok()) {
+    NewDynamic.reserve(static_cast<size_t>(NumDynamic));
+    for (uint64_t I = 0; C.ok() && I != NumDynamic; ++I)
+      NewDynamic.push_back(loadRecord(C));
+  }
+  uint64_t NumStatic = C.getU64();
+  std::unordered_map<uint32_t, BlockRecord> NewStatic;
+  if (C.ok() && NumStatic > C.remaining() / 36)
+    C.fail(Status::failf(StatusCode::Truncated,
+                         "block-tracker snapshot claims %llu static records",
+                         static_cast<unsigned long long>(NumStatic)));
+  for (uint64_t I = 0; C.ok() && I != NumStatic; ++I) {
+    uint32_t BlockIdx = C.getU32();
+    NewStatic.emplace(BlockIdx, loadRecord(C));
+  }
+  Log2Histogram NewLifetimes, NewDynRefCounts, NewCycleLens;
+  NewLifetimes.load(C);
+  NewDynRefCounts.load(C);
+  NewCycleLens.load(C);
+  std::vector<uint64_t> NewLastAlloc = C.getVecU64();
+  if (C.ok() && NewLastAlloc.size() != LastAllocTime.size() &&
+      !(LastAllocTime.empty() && NewLastAlloc.size() == NumSlots))
+    C.fail(Status::failf(StatusCode::Corrupt,
+                         "block-tracker snapshot has %zu alloc-time slots",
+                         NewLastAlloc.size()));
+  if (Status S = C.finish(); !S.ok())
+    return S;
+
+  Clock = SavedClock;
+  FrontierBlocks = SavedFrontier;
+  StackRefs = SavedStackRefs;
+  Finalized = SavedFinalized;
+  Dynamic = std::move(NewDynamic);
+  Static = std::move(NewStatic);
+  Lifetimes = std::move(NewLifetimes);
+  DynRefCounts = std::move(NewDynRefCounts);
+  CycleLens = std::move(NewCycleLens);
+  LastAllocTime = std::move(NewLastAlloc);
+  return Status();
+}

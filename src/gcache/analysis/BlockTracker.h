@@ -30,6 +30,7 @@
 #define GCACHE_ANALYSIS_BLOCKTRACKER_H
 
 #include "gcache/heap/Heap.h"
+#include "gcache/support/Snapshot.h"
 #include "gcache/support/Stats.h"
 #include "gcache/trace/Event.h"
 
@@ -73,7 +74,7 @@ struct BlockSummary {
 /// TraceSink computing the per-block behaviour statistics of one run.
 /// Intended for control-experiment (no-GC) runs, where dynamic allocation
 /// is strictly linear.
-class BlockTracker final : public TraceSink {
+class BlockTracker final : public TraceSink, public Snapshottable {
 public:
   /// \p BlockBytes is the memory-block size; \p CacheBytes the reference
   /// cache size for the allocation-cycle clock (the paper uses 64 KB).
@@ -102,6 +103,12 @@ public:
   /// The record for the dynamic block with the given index (tests).
   const BlockRecord &dynamicRecord(size_t I) const { return Dynamic[I]; }
   size_t numDynamicRecords() const { return Dynamic.size(); }
+
+  // Snapshottable: full accumulator state (clock, frontier, every block
+  // record, histograms), validated against this tracker's configuration.
+  const char *snapshotTag() const override { return "block-tracker"; }
+  void saveTo(SnapshotWriter &W) const override;
+  Status loadFrom(const SnapshotReader &R) override;
 
 private:
   uint32_t cacheSlotOf(uint32_t BlockIdx) const { return BlockIdx & SlotMask; }

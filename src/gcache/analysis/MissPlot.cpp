@@ -76,3 +76,50 @@ double MissPlot::fillFraction() const {
   return static_cast<double>(Set) /
          (static_cast<double>(Columns.size()) * NumBlocks);
 }
+
+void MissPlot::saveTo(SnapshotWriter &W) const {
+  W.beginSection(snapshotTag());
+  W.putU32(RefsPerColumn);
+  W.putU32(NumBlocks);
+  W.putU64(RefsSeen);
+  W.putU64(Columns.size());
+  for (const auto &Col : Columns)
+    W.putBytes(Col.data(), Col.size());
+  Sim.saveState(W);
+}
+
+Status MissPlot::loadFrom(const SnapshotReader &R) {
+  SnapshotCursor C = R.section(snapshotTag());
+  uint32_t SavedRefsPerColumn = C.getU32();
+  uint32_t SavedNumBlocks = C.getU32();
+  if (C.ok() &&
+      (SavedRefsPerColumn != RefsPerColumn || SavedNumBlocks != NumBlocks)) {
+    C.fail(Status::failf(StatusCode::Corrupt,
+                         "miss-plot snapshot (%u refs/col, %u blocks) does "
+                         "not match this plot (%u refs/col, %u blocks)",
+                         SavedRefsPerColumn, SavedNumBlocks, RefsPerColumn,
+                         NumBlocks));
+    return C.finish();
+  }
+  uint64_t SavedRefsSeen = C.getU64();
+  uint64_t NumColumns = C.getU64();
+  if (C.ok() && NumColumns > C.remaining() / NumBlocks)
+    C.fail(Status::failf(StatusCode::Truncated,
+                         "miss-plot snapshot claims %llu columns",
+                         static_cast<unsigned long long>(NumColumns)));
+  std::vector<std::vector<uint8_t>> NewColumns;
+  if (C.ok()) {
+    NewColumns.reserve(static_cast<size_t>(NumColumns));
+    for (uint64_t I = 0; C.ok() && I != NumColumns; ++I) {
+      std::vector<uint8_t> Col(NumBlocks);
+      C.getBytes(Col.data(), Col.size());
+      NewColumns.push_back(std::move(Col));
+    }
+  }
+  Sim.loadState(C);
+  if (Status S = C.finish(); !S.ok())
+    return S;
+  RefsSeen = SavedRefsSeen;
+  Columns = std::move(NewColumns);
+  return Status();
+}

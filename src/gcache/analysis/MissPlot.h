@@ -17,6 +17,7 @@
 #define GCACHE_ANALYSIS_MISSPLOT_H
 
 #include "gcache/memsys/Cache.h"
+#include "gcache/support/Snapshot.h"
 
 #include <string>
 #include <vector>
@@ -24,7 +25,7 @@
 namespace gcache {
 
 /// TraceSink owning a cache and recording when/where misses occur.
-class MissPlot final : public TraceSink {
+class MissPlot final : public TraceSink, public Snapshottable {
 public:
   /// \p RefsPerColumn is the paper's 1024-reference time bucket.
   explicit MissPlot(const CacheConfig &Config, uint32_t RefsPerColumn = 1024);
@@ -46,6 +47,11 @@ public:
 
   /// Fraction of plot cells containing at least one miss.
   double fillFraction() const;
+
+  // Snapshottable: the owned cache plus the accumulated plot columns.
+  const char *snapshotTag() const override { return "miss-plot"; }
+  void saveTo(SnapshotWriter &W) const override;
+  Status loadFrom(const SnapshotReader &R) override;
 
 private:
   std::vector<uint8_t> &currentColumn();

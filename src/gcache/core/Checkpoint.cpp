@@ -1,0 +1,293 @@
+//===- Checkpoint.cpp - Checkpointed replay and unit snapshots -------------===//
+
+#include "gcache/core/Checkpoint.h"
+
+#include "gcache/support/FaultInjector.h"
+#include "gcache/support/Snapshot.h"
+#include "gcache/trace/TraceFile.h"
+
+#include <cassert>
+#include <cctype>
+#include <cstdio>
+
+using namespace gcache;
+
+CheckpointContext &gcache::checkpointContext() {
+  static CheckpointContext Ctx;
+  return Ctx;
+}
+
+/// Unit names ("nbody (cheney)") become filesystem-safe slugs.
+static std::string sanitizeName(const std::string &Name) {
+  std::string Out;
+  Out.reserve(Name.size());
+  for (char C : Name)
+    Out += (std::isalnum(static_cast<unsigned char>(C)) || C == '-' ||
+            C == '.')
+               ? C
+               : '_';
+  return Out;
+}
+
+std::string
+CheckpointContext::unitSnapshotPath(const std::string &UnitName) const {
+  return Dir + "/" + sanitizeName(UnitName) + ".snap";
+}
+
+std::string CheckpointContext::inProgressPath() const {
+  return Dir + "/inprogress";
+}
+
+std::string CheckpointContext::denyListPath() const {
+  return Dir + "/deny.list";
+}
+
+static bool fileExists(const std::string &Path) {
+  if (FILE *F = std::fopen(Path.c_str(), "rb")) {
+    std::fclose(F);
+    return true;
+  }
+  return false;
+}
+
+bool gcache::isUnitDenied(const CheckpointContext &Ctx,
+                          const std::string &UnitName) {
+  if (!Ctx.enabled())
+    return false;
+  FILE *F = std::fopen(Ctx.denyListPath().c_str(), "rb");
+  if (!F)
+    return false;
+  char Buf[512];
+  bool Denied = false;
+  while (std::fgets(Buf, sizeof(Buf), F)) {
+    std::string Line = Buf;
+    while (!Line.empty() && (Line.back() == '\n' || Line.back() == '\r'))
+      Line.pop_back();
+    if (Line == UnitName) {
+      Denied = true;
+      break;
+    }
+  }
+  std::fclose(F);
+  return Denied;
+}
+
+void gcache::markUnitInProgress(const CheckpointContext &Ctx,
+                                const std::string &UnitName) {
+  if (!Ctx.enabled())
+    return;
+  if (FILE *F = std::fopen(Ctx.inProgressPath().c_str(), "wb")) {
+    std::fwrite(UnitName.data(), 1, UnitName.size(), F);
+    std::fputc('\n', F);
+    std::fclose(F);
+  }
+}
+
+void gcache::clearUnitInProgress(const CheckpointContext &Ctx) {
+  if (!Ctx.enabled())
+    return;
+  std::remove(Ctx.inProgressPath().c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// Checkpointed replay
+//===----------------------------------------------------------------------===//
+
+/// Cuts one replay checkpoint: resume position, full bank state (drained
+/// first), sink counters, and the fault injector so injected faults fire
+/// at the same global occurrence after a resume.
+static Status cutReplayCheckpoint(const std::string &Path, TraceStream &Stream,
+                                  CacheBank &Bank, CountingSink &Counts) {
+  SnapshotWriter W;
+  W.beginSection("replay-pos");
+  W.putU64(Stream.recordCount());
+  W.putU64(Stream.recordIndex());
+  W.putU64(Stream.byteOffset());
+  Bank.saveTo(W);
+  W.beginSection("counting-sink");
+  Counts.save(W);
+  faultInjector().saveTo(W);
+  return W.writeFile(Path);
+}
+
+Expected<ReplayCheckpointResult>
+gcache::replayTraceCheckpointed(const std::string &TracePath, CacheBank &Bank,
+                                CountingSink &Counts,
+                                const ReplayCheckpointOptions &Opts) {
+  TraceStream Stream;
+  if (Status S = Stream.open(TracePath, Opts.Salvage); !S.ok())
+    return S;
+
+  ReplayCheckpointResult Result;
+  if (Opts.Resume && !Opts.SnapshotPath.empty() &&
+      fileExists(Opts.SnapshotPath)) {
+    SnapshotReader R;
+    if (Status S = R.open(Opts.SnapshotPath); !S.ok())
+      return S;
+    SnapshotCursor C = R.section("replay-pos");
+    uint64_t SavedCount = C.getU64();
+    uint64_t RecIdx = C.getU64();
+    uint64_t ByteOff = C.getU64();
+    if (C.ok() && SavedCount != Stream.recordCount())
+      C.fail(Status::failf(StatusCode::Corrupt,
+                           "checkpoint is for a %llu-record trace, '%s' has "
+                           "%llu records",
+                           static_cast<unsigned long long>(SavedCount),
+                           TracePath.c_str(),
+                           static_cast<unsigned long long>(
+                               Stream.recordCount())));
+    if (Status S = C.finish(); !S.ok())
+      return S;
+    if (Status S = Bank.loadFrom(R); !S.ok())
+      return S;
+    SnapshotCursor SC = R.section("counting-sink");
+    Counts.load(SC);
+    if (Status S = SC.finish(); !S.ok())
+      return S;
+    if (R.hasSection("fault-injector"))
+      if (Status S = faultInjector().loadFrom(R); !S.ok())
+        return S;
+    if (Status S = Stream.seekTo(RecIdx, ByteOff); !S.ok())
+      return S;
+    Result.Resumed = true;
+  }
+  Result.StartRecord = Stream.recordIndex();
+
+  TraceRecord Rec;
+  uint64_t SinceCheckpoint = 0;
+  while (Stream.next(Rec)) {
+    Rec.dispatch(Counts);
+    Rec.dispatch(Bank);
+    ++Result.RecordsReplayed;
+    ++SinceCheckpoint;
+    if (Opts.StopAfterRecords &&
+        Result.RecordsReplayed >= Opts.StopAfterRecords)
+      return Status::failf(
+          StatusCode::Aborted, "replay stopped after %llu records (test kill)",
+          static_cast<unsigned long long>(Result.RecordsReplayed));
+    // Checkpoint at every GC boundary and every EveryRefs records. Any
+    // record boundary is a safe point: dispatch is deterministic and
+    // saveTo drains the shard workers first.
+    bool AtGcEnd = Rec.Op == TraceRecord::Kind::GcEnd;
+    bool Periodic = Opts.EveryRefs && SinceCheckpoint >= Opts.EveryRefs;
+    if (!Opts.SnapshotPath.empty() && (AtGcEnd || Periodic)) {
+      if (Status S = cutReplayCheckpoint(Opts.SnapshotPath, Stream, Bank,
+                                         Counts);
+          !S.ok())
+        return S;
+      SinceCheckpoint = 0;
+    }
+  }
+  Bank.flush();
+  return Result;
+}
+
+//===----------------------------------------------------------------------===//
+// Unit snapshots
+//===----------------------------------------------------------------------===//
+
+Status gcache::saveUnitSnapshot(const std::string &Path, ProgramRun &Run,
+                                double Scale) {
+  assert(Run.Bank && "unit snapshot needs the run's cache bank");
+  SnapshotWriter W;
+  W.beginSection("program-run");
+  W.putString(Run.Name);
+  W.putDouble(Scale);
+  W.putU64(Run.TotalRefs);
+  W.putU64(Run.MutatorRefs);
+  W.putU64(Run.AllocBytes);
+  W.putU64(Run.Collections);
+  W.putString(Run.Output);
+  W.putU32(Run.RuntimeVectorAddr);
+  W.putU32(Run.StaticBytes);
+  W.putU64(Run.Stats.Instructions);
+  W.putU64(Run.Stats.ExtraInstructions);
+  W.putU64(Run.Stats.DynamicBytes);
+  W.putU64(Run.Stats.Gc.Collections);
+  W.putU64(Run.Stats.Gc.MajorCollections);
+  W.putU64(Run.Stats.Gc.ObjectsCopied);
+  W.putU64(Run.Stats.Gc.WordsCopied);
+  W.putU64(Run.Stats.Gc.Instructions);
+
+  W.beginSection("unit-bank");
+  W.putU64(Run.Bank->size());
+  for (size_t I = 0; I != Run.Bank->size(); ++I) {
+    const CacheConfig &Cfg = Run.Bank->cache(I).config();
+    W.putU32(Cfg.SizeBytes);
+    W.putU32(Cfg.BlockBytes);
+    W.putU32(Cfg.Ways);
+    W.putU8(static_cast<uint8_t>(Cfg.WriteMiss));
+    W.putU8(static_cast<uint8_t>(Cfg.WriteHit));
+    W.putU8(Cfg.CollectorFetchOnWrite ? 1 : 0);
+    W.putU8(Cfg.TrackPerBlockStats ? 1 : 0);
+  }
+  Run.Bank->saveTo(W);
+  return W.writeFile(Path);
+}
+
+Expected<ProgramRun> gcache::loadUnitSnapshot(const std::string &Path,
+                                              const std::string &UnitName,
+                                              double Scale) {
+  SnapshotReader R;
+  if (Status S = R.open(Path); !S.ok())
+    return S;
+
+  ProgramRun Run;
+  SnapshotCursor C = R.section("program-run");
+  Run.Name = C.getString();
+  double SavedScale = C.getDouble();
+  Run.TotalRefs = C.getU64();
+  Run.MutatorRefs = C.getU64();
+  Run.AllocBytes = C.getU64();
+  Run.Collections = C.getU64();
+  Run.Output = C.getString();
+  Run.RuntimeVectorAddr = C.getU32();
+  Run.StaticBytes = C.getU32();
+  Run.Stats.Instructions = C.getU64();
+  Run.Stats.ExtraInstructions = C.getU64();
+  Run.Stats.DynamicBytes = C.getU64();
+  Run.Stats.Gc.Collections = C.getU64();
+  Run.Stats.Gc.MajorCollections = C.getU64();
+  Run.Stats.Gc.ObjectsCopied = C.getU64();
+  Run.Stats.Gc.WordsCopied = C.getU64();
+  Run.Stats.Gc.Instructions = C.getU64();
+  if (C.ok() && (Run.Name != UnitName || SavedScale != Scale))
+    C.fail(Status::failf(StatusCode::Corrupt,
+                         "snapshot '%s' is for unit '%s' at scale %g, not "
+                         "'%s' at scale %g",
+                         Path.c_str(), Run.Name.c_str(), SavedScale,
+                         UnitName.c_str(), Scale));
+  if (Status S = C.finish(); !S.ok())
+    return S;
+
+  SnapshotCursor BC = R.section("unit-bank");
+  uint64_t NumCaches = BC.getU64();
+  auto Bank = std::make_unique<CacheBank>();
+  for (uint64_t I = 0; BC.ok() && I != NumCaches; ++I) {
+    CacheConfig Cfg;
+    Cfg.SizeBytes = BC.getU32();
+    Cfg.BlockBytes = BC.getU32();
+    Cfg.Ways = BC.getU32();
+    Cfg.WriteMiss = static_cast<WriteMissPolicy>(BC.getU8());
+    Cfg.WriteHit = static_cast<WriteHitPolicy>(BC.getU8());
+    Cfg.CollectorFetchOnWrite = BC.getU8() != 0;
+    Cfg.TrackPerBlockStats = BC.getU8() != 0;
+    if (!BC.ok())
+      break;
+    if (!Cfg.isValid()) {
+      BC.fail(Status::failf(StatusCode::Corrupt,
+                            "snapshot '%s' holds an invalid cache geometry "
+                            "(%u B, %u B blocks, %u ways)",
+                            Path.c_str(), Cfg.SizeBytes, Cfg.BlockBytes,
+                            Cfg.Ways));
+      break;
+    }
+    Bank->addConfig(Cfg);
+  }
+  if (Status S = BC.finish(); !S.ok())
+    return S;
+  if (Status S = Bank->loadFrom(R); !S.ok())
+    return S;
+  Run.Bank = std::move(Bank);
+  return Run;
+}

@@ -1,0 +1,225 @@
+//===- Supervisor.cpp - Supervised experiment runner -----------------------===//
+
+#include "gcache/core/Supervisor.h"
+
+#include "gcache/core/Checkpoint.h"
+#include "gcache/support/FaultInjector.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+using namespace gcache;
+
+namespace {
+
+/// One restart event for the manifest.
+struct LaunchEvent {
+  unsigned Launch;
+  std::string Cause; ///< "exit 75", "signal 11", "timeout", ...
+  std::string Unit;  ///< Attributed unit, or empty.
+};
+
+std::string readFirstLine(const std::string &Path) {
+  FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F)
+    return std::string();
+  char Buf[512];
+  std::string Line;
+  if (std::fgets(Buf, sizeof(Buf), F)) {
+    Line = Buf;
+    while (!Line.empty() && (Line.back() == '\n' || Line.back() == '\r'))
+      Line.pop_back();
+  }
+  std::fclose(F);
+  return Line;
+}
+
+void appendLine(const std::string &Path, const std::string &Line) {
+  if (FILE *F = std::fopen(Path.c_str(), "ab")) {
+    std::fwrite(Line.data(), 1, Line.size(), F);
+    std::fputc('\n', F);
+    std::fclose(F);
+  }
+}
+
+std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      Out += '\\';
+    if (static_cast<unsigned char>(C) < 0x20)
+      continue;
+    Out += C;
+  }
+  return Out;
+}
+
+/// The machine-readable run manifest: what the supervisor observed and how
+/// the run ended.
+void writeManifest(const std::string &Dir, int ExitCode, unsigned Launches,
+                   const char *Result, const std::vector<LaunchEvent> &Events,
+                   const std::vector<std::string> &Denied) {
+  std::string J = "{\n";
+  J += "  \"result\": \"" + std::string(Result) + "\",\n";
+  J += "  \"exit_code\": " + std::to_string(ExitCode) + ",\n";
+  J += "  \"launches\": " + std::to_string(Launches) + ",\n";
+  J += "  \"restarts\": [\n";
+  for (size_t I = 0; I != Events.size(); ++I) {
+    const LaunchEvent &E = Events[I];
+    J += "    {\"launch\": " + std::to_string(E.Launch) + ", \"cause\": \"" +
+         jsonEscape(E.Cause) + "\", \"unit\": \"" + jsonEscape(E.Unit) +
+         "\"}";
+    J += I + 1 != Events.size() ? ",\n" : "\n";
+  }
+  J += "  ],\n";
+  J += "  \"denied_units\": [";
+  for (size_t I = 0; I != Denied.size(); ++I) {
+    J += "\"" + jsonEscape(Denied[I]) + "\"";
+    if (I + 1 != Denied.size())
+      J += ", ";
+  }
+  J += "]\n}\n";
+
+  std::string Path = Dir + "/manifest.json";
+  std::string Tmp = Path + ".tmp";
+  if (FILE *F = std::fopen(Tmp.c_str(), "wb")) {
+    bool Ok = std::fwrite(J.data(), 1, J.size(), F) == J.size();
+    Ok = std::fclose(F) == 0 && Ok;
+    if (Ok)
+      std::rename(Tmp.c_str(), Path.c_str());
+    else
+      std::remove(Tmp.c_str());
+  }
+}
+
+/// Waits for \p Pid, killing it after \p TimeoutSec (0 = wait forever).
+/// Returns the raw wait status; sets \p TimedOut.
+int awaitChild(pid_t Pid, unsigned TimeoutSec, bool &TimedOut) {
+  TimedOut = false;
+  int RawStatus = 0;
+  if (TimeoutSec == 0) {
+    while (waitpid(Pid, &RawStatus, 0) < 0 && errno == EINTR)
+      ;
+    return RawStatus;
+  }
+  auto Deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(TimeoutSec);
+  for (;;) {
+    pid_t Done = waitpid(Pid, &RawStatus, WNOHANG);
+    if (Done == Pid)
+      return RawStatus;
+    if (std::chrono::steady_clock::now() >= Deadline) {
+      TimedOut = true;
+      kill(Pid, SIGKILL);
+      while (waitpid(Pid, &RawStatus, 0) < 0 && errno == EINTR)
+        ;
+      return RawStatus;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+}
+
+} // namespace
+
+SuperviseOutcome gcache::superviseLoop(const SupervisorOptions &Opts) {
+  CheckpointContext Ctx;
+  Ctx.Dir = Opts.CheckpointDir;
+  mkdir(Ctx.Dir.c_str(), 0755); // may already exist
+
+  // A new supervised run starts with a clean slate of attribution state;
+  // unit snapshots are deliberately kept — they are the resume value.
+  std::remove(Ctx.inProgressPath().c_str());
+  std::remove(Ctx.denyListPath().c_str());
+
+  std::map<std::string, unsigned> Attempts;
+  std::vector<LaunchEvent> Events;
+  std::vector<std::string> Denied;
+  unsigned Launches = 0;
+  unsigned MaxLaunches =
+      Opts.MaxLaunches ? Opts.MaxLaunches : (Opts.MaxRetries + 2) * 8;
+  unsigned BackoffMs = Opts.BackoffMs;
+
+  for (;;) {
+    ++Launches;
+    std::fflush(nullptr); // don't duplicate buffered output into the child
+    pid_t Pid = fork();
+    if (Pid < 0) {
+      writeManifest(Ctx.Dir, 70, Launches, "fork-failed", Events, Denied);
+      return {false, 70};
+    }
+    if (Pid == 0)
+      return {true, 0};
+
+    bool TimedOut = false;
+    int RawStatus = awaitChild(Pid, Opts.TimeoutSec, TimedOut);
+
+    if (!TimedOut && WIFEXITED(RawStatus)) {
+      int Code = WEXITSTATUS(RawStatus);
+      if (Code == 0 || Code == 1) {
+        writeManifest(Ctx.Dir, Code, Launches, "completed", Events, Denied);
+        return {false, Code};
+      }
+      if (Code == 2) {
+        // Bad flags are deterministic; retrying cannot help.
+        writeManifest(Ctx.Dir, 2, Launches, "bad-flags", Events, Denied);
+        return {false, 2};
+      }
+    }
+
+    // Abnormal end: fast-abort, crash signal, timeout, or an unexpected
+    // exit code. Attribute it to the unit named by the marker file.
+    std::string Cause;
+    if (TimedOut)
+      Cause = "timeout";
+    else if (WIFSIGNALED(RawStatus))
+      Cause = "signal " + std::to_string(WTERMSIG(RawStatus));
+    else
+      Cause = "exit " + std::to_string(WEXITSTATUS(RawStatus));
+    std::string Unit = readFirstLine(Ctx.inProgressPath());
+    std::remove(Ctx.inProgressPath().c_str());
+    Events.push_back({Launches, Cause, Unit});
+
+    unsigned &UnitAttempts = Attempts[Unit.empty() ? "<unknown>" : Unit];
+    ++UnitAttempts;
+    if (!Unit.empty() && UnitAttempts > Opts.MaxRetries &&
+        std::find(Denied.begin(), Denied.end(), Unit) == Denied.end()) {
+      // Out of retries: the next child marks this unit failed and moves
+      // on instead of crashing on it again.
+      appendLine(Ctx.denyListPath(), Unit);
+      Denied.push_back(Unit);
+    }
+    if (Launches >= MaxLaunches) {
+      writeManifest(Ctx.Dir, 70, Launches, "crash-loop", Events, Denied);
+      return {false, 70};
+    }
+
+    // Children are forked from this image: a one-shot injected fault that
+    // already fired must not re-arm in every retry, and neither should the
+    // environment re-introduce it.
+    faultInjector().disarm();
+    unsetenv("GCACHE_FAULT");
+
+    std::this_thread::sleep_for(std::chrono::milliseconds(BackoffMs));
+    BackoffMs = std::min(BackoffMs * 2, 5000u);
+  }
+}
+
+int gcache::runSupervised(const SupervisorOptions &Opts,
+                          const std::function<int()> &Body) {
+  SuperviseOutcome Outcome = superviseLoop(Opts);
+  if (Outcome.InChild)
+    _exit(Body());
+  return Outcome.ExitCode;
+}

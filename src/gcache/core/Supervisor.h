@@ -1,0 +1,78 @@
+//===- Supervisor.h - Supervised experiment runner --------------*- C++ -*-===//
+//
+// Part of the gcache project (Reinhold, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The supervised experiment runner: long paper-scale sweeps run inside a
+/// forked child watched by a supervisor parent. When the child crashes, is
+/// killed, exceeds its timeout, or fast-aborts on a failing unit, the
+/// parent restarts it; the restarted child resumes from the unit
+/// snapshots in the checkpoint directory (core/Checkpoint.h), so finished
+/// units are never re-computed and the interrupted unit re-runs
+/// deterministically. A unit that keeps crashing is denied after N
+/// retries: the next child marks it failed and continues with the rest of
+/// the sweep (graceful degrade), and the whole run exits nonzero with a
+/// machine-readable manifest of what happened.
+///
+/// Crash attribution uses an in-progress marker file: the child writes the
+/// current unit's name before running it and clears it after, so the
+/// parent knows which unit to charge for an abnormal exit.
+///
+/// The protocol between parent and child is exit-status only (no pipes),
+/// so the child's stdout stays a normal bench report:
+///   0   sweep complete, all units passed
+///   1   sweep complete, some units failed (recorded in the manifest)
+///   2   bad flags (never retried)
+///   75  supervised fast-abort: a unit failed and wants a retry
+///   signal / timeout   crash; retried with backoff
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCACHE_CORE_SUPERVISOR_H
+#define GCACHE_CORE_SUPERVISOR_H
+
+#include "gcache/support/Status.h"
+
+#include <functional>
+#include <string>
+
+namespace gcache {
+
+/// The supervised fast-abort exit code (EX_TEMPFAIL): "this unit failed,
+/// restart me so I can retry it from the snapshots".
+constexpr int SupervisedAbortExit = 75;
+
+/// Supervision policy.
+struct SupervisorOptions {
+  std::string CheckpointDir; ///< Snapshot/marker/manifest directory.
+  unsigned MaxRetries = 2;   ///< Retries per failing unit before denial.
+  unsigned TimeoutSec = 0;   ///< Kill a child running longer (0 = never).
+  unsigned BackoffMs = 100;  ///< Sleep base between restarts (doubles).
+  /// Hard cap on total child launches, against pathological crash loops
+  /// that never reach unit attribution (0 = derived from MaxRetries).
+  unsigned MaxLaunches = 0;
+};
+
+/// What superviseLoop resolved to.
+struct SuperviseOutcome {
+  bool InChild = false; ///< True in the forked child: return and run.
+  int ExitCode = 0;     ///< Parent: the run's final exit code.
+};
+
+/// Runs the fork/monitor/restart loop. Returns with InChild=true in each
+/// forked child — the caller then executes the actual sweep and exits. In
+/// the parent it returns only when the run is over, with the final exit
+/// code, after writing `manifest.json` into the checkpoint directory.
+SuperviseOutcome superviseLoop(const SupervisorOptions &Opts);
+
+/// Test harness: supervises \p Body as the child's payload (each launch
+/// calls Body() in a fresh fork and _exits with its return value). Returns
+/// the parent's final exit code.
+int runSupervised(const SupervisorOptions &Opts,
+                  const std::function<int()> &Body);
+
+} // namespace gcache
+
+#endif // GCACHE_CORE_SUPERVISOR_H

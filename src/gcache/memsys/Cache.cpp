@@ -2,6 +2,8 @@
 
 #include "gcache/memsys/Cache.h"
 
+#include "gcache/support/Snapshot.h"
+
 #include <bit>
 #include <cassert>
 
@@ -135,4 +137,117 @@ CacheCounters Cache::totalCounters() const {
   CacheCounters T = Counts[0];
   T += Counts[1];
   return T;
+}
+
+static void saveCounters(SnapshotWriter &W, const CacheCounters &C) {
+  W.putU64(C.Loads);
+  W.putU64(C.Stores);
+  W.putU64(C.FetchMisses);
+  W.putU64(C.NoFetchMisses);
+  W.putU64(C.Writebacks);
+  W.putU64(C.WriteThroughs);
+}
+
+static void loadCounters(SnapshotCursor &C, CacheCounters &Out) {
+  Out.Loads = C.getU64();
+  Out.Stores = C.getU64();
+  Out.FetchMisses = C.getU64();
+  Out.NoFetchMisses = C.getU64();
+  Out.Writebacks = C.getU64();
+  Out.WriteThroughs = C.getU64();
+}
+
+void Cache::saveState(SnapshotWriter &W) const {
+  // Geometry first, so a resumed run can prove the snapshot belongs to the
+  // same simulated cache before interpreting a single line.
+  W.putU32(Config.SizeBytes);
+  W.putU32(Config.BlockBytes);
+  W.putU32(Config.Ways);
+  W.putU8(static_cast<uint8_t>(Config.WriteMiss));
+  W.putU8(static_cast<uint8_t>(Config.WriteHit));
+  W.putU8(Config.CollectorFetchOnWrite ? 1 : 0);
+  W.putU8(Config.TrackPerBlockStats ? 1 : 0);
+
+  W.putU32(LruClock);
+  W.putU64(Lines.size());
+  for (const Line &L : Lines) {
+    W.putU32(L.Tag);
+    W.putU64(L.ValidMask);
+    W.putU8(L.Dirty ? 1 : 0);
+    W.putU32(L.LruStamp);
+  }
+  saveCounters(W, Counts[0]);
+  saveCounters(W, Counts[1]);
+  W.putVecU64(BlockRefs);
+  W.putVecU64(BlockMisses);
+  W.putVecU64(BlockFetchMisses);
+}
+
+void Cache::loadState(SnapshotCursor &C) {
+  uint32_t SizeBytes = C.getU32();
+  uint32_t BlockBytes = C.getU32();
+  uint32_t Ways = C.getU32();
+  uint8_t WriteMiss = C.getU8();
+  uint8_t WriteHit = C.getU8();
+  uint8_t FoW = C.getU8();
+  uint8_t PerBlock = C.getU8();
+  if (!C.ok())
+    return;
+  if (SizeBytes != Config.SizeBytes || BlockBytes != Config.BlockBytes ||
+      Ways != Config.Ways ||
+      WriteMiss != static_cast<uint8_t>(Config.WriteMiss) ||
+      WriteHit != static_cast<uint8_t>(Config.WriteHit) ||
+      (FoW != 0) != Config.CollectorFetchOnWrite ||
+      (PerBlock != 0) != Config.TrackPerBlockStats) {
+    C.fail(Status::failf(StatusCode::Corrupt,
+                         "cache snapshot geometry (%u B, %u B blocks, "
+                         "%u ways) does not match this cache (%u B, %u B "
+                         "blocks, %u ways)",
+                         SizeBytes, BlockBytes, Ways, Config.SizeBytes,
+                         Config.BlockBytes, Config.Ways));
+    return;
+  }
+
+  uint32_t Clock = C.getU32();
+  uint64_t NumLines = C.getU64();
+  if (C.ok() && NumLines != Lines.size()) {
+    C.fail(Status::failf(StatusCode::Corrupt,
+                         "cache snapshot has %llu lines, this cache has %zu",
+                         static_cast<unsigned long long>(NumLines),
+                         Lines.size()));
+    return;
+  }
+  std::vector<Line> NewLines(Lines.size());
+  for (Line &L : NewLines) {
+    L.Tag = C.getU32();
+    L.ValidMask = C.getU64();
+    L.Dirty = C.getU8() != 0;
+    L.LruStamp = C.getU32();
+  }
+  CacheCounters NewCounts[2];
+  loadCounters(C, NewCounts[0]);
+  loadCounters(C, NewCounts[1]);
+  std::vector<uint64_t> Refs = C.getVecU64();
+  std::vector<uint64_t> Misses = C.getVecU64();
+  std::vector<uint64_t> FetchMisses = C.getVecU64();
+  if (!C.ok())
+    return;
+  size_t WantBlocks = Config.TrackPerBlockStats ? Config.numSets() : 0;
+  if (Refs.size() != WantBlocks || Misses.size() != WantBlocks ||
+      FetchMisses.size() != WantBlocks) {
+    C.fail(Status::failf(StatusCode::Corrupt,
+                         "cache snapshot per-block arrays sized %zu/%zu/%zu, "
+                         "expected %zu",
+                         Refs.size(), Misses.size(), FetchMisses.size(),
+                         WantBlocks));
+    return;
+  }
+
+  LruClock = Clock;
+  Lines = std::move(NewLines);
+  Counts[0] = NewCounts[0];
+  Counts[1] = NewCounts[1];
+  BlockRefs = std::move(Refs);
+  BlockMisses = std::move(Misses);
+  BlockFetchMisses = std::move(FetchMisses);
 }

@@ -32,6 +32,9 @@
 
 namespace gcache {
 
+class SnapshotWriter;
+class SnapshotCursor;
+
 /// Outcome of one cache access.
 enum class AccessResult : uint8_t {
   Hit,            ///< Word present; one-cycle access, no stall.
@@ -101,6 +104,14 @@ public:
   uint32_t setIndexOf(Address Addr) const {
     return (Addr / Config.BlockBytes) & SetMask;
   }
+
+  /// Appends geometry, line array, counters, and per-block statistics to an
+  /// open snapshot section (the owner frames the section).
+  void saveState(SnapshotWriter &W) const;
+  /// Restores the state written by saveState. Validates that the stored
+  /// geometry matches this cache's configuration before touching anything;
+  /// mismatches and decode failures latch in \p C.
+  void loadState(SnapshotCursor &C);
 
 private:
   struct Line {

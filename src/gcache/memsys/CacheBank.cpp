@@ -2,6 +2,8 @@
 
 #include "gcache/memsys/CacheBank.h"
 
+#include "gcache/support/Snapshot.h"
+
 #include <cassert>
 
 using namespace gcache;
@@ -83,4 +85,30 @@ void CacheBank::resetAll() {
   flush();
   for (auto &C : Caches)
     C->reset();
+}
+
+void CacheBank::saveTo(SnapshotWriter &W) {
+  flush();
+  W.beginSection("cache-bank");
+  W.putU64(Caches.size());
+  for (auto &C : Caches)
+    C->saveState(W);
+}
+
+Status CacheBank::loadFrom(const SnapshotReader &R) {
+  flush();
+  SnapshotCursor C = R.section("cache-bank");
+  uint64_t Count = C.getU64();
+  if (C.ok() && Count != Caches.size())
+    C.fail(Status::failf(StatusCode::Corrupt,
+                         "cache-bank snapshot has %llu caches, this bank "
+                         "has %zu",
+                         static_cast<unsigned long long>(Count),
+                         Caches.size()));
+  for (auto &Cache : Caches) {
+    if (!C.ok())
+      break;
+    Cache->loadState(C);
+  }
+  return C.finish();
 }

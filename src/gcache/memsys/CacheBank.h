@@ -29,11 +29,14 @@
 
 #include "gcache/memsys/Cache.h"
 #include "gcache/memsys/ShardPool.h"
+#include "gcache/support/Status.h"
 
 #include <memory>
 #include <vector>
 
 namespace gcache {
+
+class SnapshotReader;
 
 /// Owns a set of caches and feeds each reference to all of them, either
 /// serially (the default) or via a pool of shard workers.
@@ -102,6 +105,16 @@ public:
 
   /// Resets every cache in the bank (drains the workers first).
   void resetAll();
+
+  /// Drains the workers, then appends a "cache-bank" section holding every
+  /// cache's full state in bank order.
+  void saveTo(SnapshotWriter &W);
+  /// Drains the workers, then restores every cache in place from the
+  /// snapshot's "cache-bank" section. Loading in place keeps the shard
+  /// workers' cache pointers valid, so threaded mode survives a resume.
+  /// Geometry or count mismatches return Corrupt and leave the bank's
+  /// counters unspecified (callers discard the run).
+  Status loadFrom(const SnapshotReader &R);
 
 private:
   void publish();

@@ -1,0 +1,28 @@
+//===- Crc32.cpp - CRC-32 checksums for on-disk formats --------------------===//
+
+#include "gcache/support/Crc32.h"
+
+namespace {
+
+struct Crc32Table {
+  uint32_t Entries[256];
+  Crc32Table() {
+    for (uint32_t I = 0; I != 256; ++I) {
+      uint32_t C = I;
+      for (int K = 0; K != 8; ++K)
+        C = (C & 1) ? 0xedb88320u ^ (C >> 1) : C >> 1;
+      Entries[I] = C;
+    }
+  }
+};
+
+} // namespace
+
+uint32_t gcache::crc32(const void *Data, size_t Len, uint32_t Crc) {
+  static const Crc32Table Table;
+  const uint8_t *P = static_cast<const uint8_t *>(Data);
+  uint32_t C = Crc ^ 0xffffffffu;
+  for (size_t I = 0; I != Len; ++I)
+    C = Table.Entries[(C ^ P[I]) & 0xff] ^ (C >> 8);
+  return C ^ 0xffffffffu;
+}

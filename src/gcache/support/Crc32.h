@@ -1,0 +1,43 @@
+//===- Crc32.h - CRC-32 checksums for on-disk formats -----------*- C++ -*-===//
+//
+// Part of the gcache project (Reinhold, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The CRC-32 (IEEE 802.3, polynomial 0xEDB88320) checksum used by every
+/// durable on-disk artifact in the measurement stack: trace files carry a
+/// CRC footer over their record stream, and snapshot files carry one CRC
+/// per section. A checksum mismatch means the bytes on disk are not the
+/// bytes that were written — a torn write, bit rot, or foreign data — and
+/// the readers report StatusCode::Corrupt instead of loading it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCACHE_SUPPORT_CRC32_H
+#define GCACHE_SUPPORT_CRC32_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace gcache {
+
+/// CRC-32 of \p Len bytes at \p Data, optionally continuing from a previous
+/// result \p Crc (pass the prior return value to checksum a stream in
+/// pieces; 0 starts a fresh checksum).
+uint32_t crc32(const void *Data, size_t Len, uint32_t Crc = 0);
+
+/// Incremental CRC-32 accumulator for streaming writers.
+class Crc32 {
+public:
+  void update(const void *Data, size_t Len) { Crc = crc32(Data, Len, Crc); }
+  uint32_t value() const { return Crc; }
+  void reset() { Crc = 0; }
+
+private:
+  uint32_t Crc = 0;
+};
+
+} // namespace gcache
+
+#endif // GCACHE_SUPPORT_CRC32_H

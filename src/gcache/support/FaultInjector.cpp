@@ -3,6 +3,7 @@
 #include "gcache/support/FaultInjector.h"
 
 #include "gcache/support/Random.h"
+#include "gcache/support/Snapshot.h"
 
 #include <cstdlib>
 
@@ -20,6 +21,10 @@ const char *gcache::faultSiteName(FaultSite Site) {
     return "shard-worker";
   case FaultSite::StepAbort:
     return "step-abort";
+  case FaultSite::SnapshotWrite:
+    return "snapshot-write";
+  case FaultSite::SnapshotLoad:
+    return "snapshot-load";
   }
   return "unknown";
 }
@@ -61,8 +66,8 @@ Expected<FaultPlan> gcache::parseFaultSpec(const std::string &Spec) {
     return Status::failf(StatusCode::InvalidArgument,
                          "bad fault spec '%s' (%s); expected "
                          "<site>:<n>[:<seed>] with site one of heap-oom, "
-                         "gc-force, trace-write, shard-worker, step-abort "
-                         "and n >= 1",
+                         "gc-force, trace-write, shard-worker, step-abort, "
+                         "snapshot-write, snapshot-load and n >= 1",
                          Spec.c_str(), Why);
   };
 
@@ -130,6 +135,49 @@ Status FaultInjector::armFromEnv() {
 void FaultInjector::resetCounters() {
   for (auto &C : Counts)
     C.store(0, std::memory_order_relaxed);
+}
+
+void FaultInjector::saveTo(SnapshotWriter &W) const {
+  W.beginSection("fault-injector");
+  W.putU8(armed() ? 1 : 0);
+  W.putU8(static_cast<uint8_t>(Plan.Site));
+  W.putU64(Plan.Nth);
+  W.putU64(Plan.Seed);
+  W.putU64(FireIndex);
+  W.putU32(NumFaultSites);
+  for (const auto &C : Counts)
+    W.putU64(C.load(std::memory_order_relaxed));
+}
+
+Status FaultInjector::loadFrom(const SnapshotReader &R) {
+  SnapshotCursor C = R.section("fault-injector");
+  uint8_t WasArmed = C.getU8();
+  uint8_t Site = C.getU8();
+  uint64_t Nth = C.getU64();
+  uint64_t Seed = C.getU64();
+  uint64_t SavedFireIndex = C.getU64();
+  uint32_t NumSites = C.getU32();
+  if (C.ok() && (Site >= NumFaultSites || NumSites != NumFaultSites))
+    C.fail(Status::failf(StatusCode::Corrupt,
+                         "fault-injector snapshot has site %u / %u sites, "
+                         "this build has %u",
+                         Site, NumSites, NumFaultSites));
+  uint64_t SavedCounts[NumFaultSites] = {};
+  for (unsigned I = 0; C.ok() && I != NumFaultSites; ++I)
+    SavedCounts[I] = C.getU64();
+  if (Status S = C.finish(); !S.ok())
+    return S;
+
+  Armed.store(false, std::memory_order_relaxed);
+  Plan.Site = static_cast<FaultSite>(Site);
+  Plan.Nth = Nth;
+  Plan.Seed = Seed;
+  FireIndex = SavedFireIndex;
+  for (unsigned I = 0; I != NumFaultSites; ++I)
+    Counts[I].store(SavedCounts[I], std::memory_order_relaxed);
+  if (WasArmed)
+    Armed.store(true, std::memory_order_release);
+  return Status();
 }
 
 FaultInjector &gcache::faultInjector() {

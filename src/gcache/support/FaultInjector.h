@@ -18,6 +18,10 @@
 ///                 batch (captured and rethrown at the next flush/join).
 ///   step-abort    SchemeSystem::run aborts before its Nth top-level
 ///                 form.
+///   snapshot-write  SnapshotWriter::writeFile fails with IoError on its
+///                   Nth call (checkpoint cannot be persisted).
+///   snapshot-load   SnapshotReader::open fails with IoError on its Nth
+///                   call (checkpoint cannot be read back).
 ///
 /// A plan is `<site>:<n>[:<seed>]`: without a seed the site fires at
 /// exactly the Nth occurrence (1-based); with a seed it fires at a
@@ -44,6 +48,9 @@
 
 namespace gcache {
 
+class SnapshotWriter;
+class SnapshotReader;
+
 /// The named injection sites (see file comment for where each fires).
 enum class FaultSite : uint8_t {
   HeapOom = 0,
@@ -51,8 +58,10 @@ enum class FaultSite : uint8_t {
   TraceShortWrite,
   ShardWorker,
   StepAbort,
+  SnapshotWrite,
+  SnapshotLoad,
 };
-constexpr unsigned NumFaultSites = 5;
+constexpr unsigned NumFaultSites = 7;
 
 /// Stable spec name of \p Site ("heap-oom", "trace-write", ...).
 const char *faultSiteName(FaultSite Site);
@@ -118,6 +127,13 @@ public:
 
   /// Zeroes every site counter (between census runs).
   void resetCounters();
+
+  /// Snapshots the armed plan and every occurrence counter, so a resumed
+  /// run fires (or declines to fire) at exactly the same global occurrence
+  /// a continuous run would have.
+  void saveTo(SnapshotWriter &W) const;
+  /// Restores plan and counters from a snapshot's "fault-injector" section.
+  Status loadFrom(const SnapshotReader &R);
 
 private:
   std::atomic<bool> Armed{false};

@@ -1,0 +1,343 @@
+//===- Snapshot.cpp - Crash-safe simulation-state snapshots ----------------===//
+
+#include "gcache/support/Snapshot.h"
+
+#include "gcache/support/Crc32.h"
+#include "gcache/support/FaultInjector.h"
+
+#include <cassert>
+#include <cstdio>
+#include <unistd.h>
+
+using namespace gcache;
+
+static const char SnapshotMagic[4] = {'G', 'C', 'S', 'P'};
+static const uint32_t SnapshotVersion = 1;
+
+//===----------------------------------------------------------------------===//
+// SnapshotWriter
+//===----------------------------------------------------------------------===//
+
+void SnapshotWriter::beginSection(const std::string &Tag) {
+  assert(!Tag.empty() && Tag.size() <= 64 && "section tag must be 1..64 bytes");
+  Sections.push_back(Section{Tag, {}});
+}
+
+void SnapshotWriter::append(const void *Data, size_t Len) {
+  assert(!Sections.empty() && "put* before beginSection");
+  const uint8_t *P = static_cast<const uint8_t *>(Data);
+  Sections.back().Payload.insert(Sections.back().Payload.end(), P, P + Len);
+}
+
+void SnapshotWriter::putU32(uint32_t V) {
+  uint8_t B[4] = {static_cast<uint8_t>(V), static_cast<uint8_t>(V >> 8),
+                  static_cast<uint8_t>(V >> 16), static_cast<uint8_t>(V >> 24)};
+  append(B, 4);
+}
+
+void SnapshotWriter::putU64(uint64_t V) {
+  putU32(static_cast<uint32_t>(V));
+  putU32(static_cast<uint32_t>(V >> 32));
+}
+
+void SnapshotWriter::putDouble(double V) {
+  uint64_t Bits;
+  static_assert(sizeof(Bits) == sizeof(V), "double must be 64-bit");
+  std::memcpy(&Bits, &V, sizeof(Bits));
+  putU64(Bits);
+}
+
+void SnapshotWriter::putString(const std::string &S) {
+  putU64(S.size());
+  append(S.data(), S.size());
+}
+
+void SnapshotWriter::putVecU64(const std::vector<uint64_t> &V) {
+  putU64(V.size());
+  for (uint64_t X : V)
+    putU64(X);
+}
+
+namespace {
+
+/// Little-endian scalar encoders for the container framing (header and
+/// section frames are built outside any SnapshotWriter section).
+void pushU32(std::vector<uint8_t> &Out, uint32_t V) {
+  Out.push_back(static_cast<uint8_t>(V));
+  Out.push_back(static_cast<uint8_t>(V >> 8));
+  Out.push_back(static_cast<uint8_t>(V >> 16));
+  Out.push_back(static_cast<uint8_t>(V >> 24));
+}
+
+void pushU64(std::vector<uint8_t> &Out, uint64_t V) {
+  pushU32(Out, static_cast<uint32_t>(V));
+  pushU32(Out, static_cast<uint32_t>(V >> 32));
+}
+
+uint32_t readU32(const uint8_t *P) {
+  return static_cast<uint32_t>(P[0]) | static_cast<uint32_t>(P[1]) << 8 |
+         static_cast<uint32_t>(P[2]) << 16 | static_cast<uint32_t>(P[3]) << 24;
+}
+
+uint64_t readU64(const uint8_t *P) {
+  return static_cast<uint64_t>(readU32(P)) |
+         static_cast<uint64_t>(readU32(P + 4)) << 32;
+}
+
+} // namespace
+
+Status SnapshotWriter::writeFile(const std::string &Path) const {
+  if (faultInjector().shouldFire(FaultSite::SnapshotWrite))
+    return Status::failf(StatusCode::IoError,
+                         "injected snapshot-write fault for '%s'",
+                         Path.c_str());
+
+  std::vector<uint8_t> Blob;
+  Blob.insert(Blob.end(), SnapshotMagic, SnapshotMagic + 4);
+  pushU32(Blob, SnapshotVersion);
+  pushU32(Blob, static_cast<uint32_t>(Sections.size()));
+  pushU32(Blob, 0); // reserved
+  for (const Section &S : Sections) {
+    pushU32(Blob, static_cast<uint32_t>(S.Tag.size()));
+    Blob.insert(Blob.end(), S.Tag.begin(), S.Tag.end());
+    pushU64(Blob, S.Payload.size());
+    pushU32(Blob, crc32(S.Payload.data(), S.Payload.size()));
+    Blob.insert(Blob.end(), S.Payload.begin(), S.Payload.end());
+  }
+
+  // Write to a temporary, make it durable, then atomically install it. A
+  // crash at any point leaves either the old snapshot or no snapshot at
+  // Path — never a torn one.
+  std::string Tmp = Path + ".tmp";
+  FILE *F = std::fopen(Tmp.c_str(), "wb");
+  if (!F)
+    return Status::failf(StatusCode::IoError,
+                         "cannot open snapshot temporary '%s'", Tmp.c_str());
+  bool Ok = std::fwrite(Blob.data(), 1, Blob.size(), F) == Blob.size();
+  Ok = std::fflush(F) == 0 && Ok;
+  Ok = fsync(fileno(F)) == 0 && Ok;
+  Ok = std::fclose(F) == 0 && Ok;
+  if (!Ok) {
+    std::remove(Tmp.c_str());
+    return Status::failf(StatusCode::IoError, "short write to snapshot '%s'",
+                         Tmp.c_str());
+  }
+  if (std::rename(Tmp.c_str(), Path.c_str()) != 0) {
+    std::remove(Tmp.c_str());
+    return Status::failf(StatusCode::IoError,
+                         "cannot rename snapshot '%s' into place",
+                         Tmp.c_str());
+  }
+  return Status();
+}
+
+//===----------------------------------------------------------------------===//
+// SnapshotCursor
+//===----------------------------------------------------------------------===//
+
+bool SnapshotCursor::take(void *Out, size_t N) {
+  if (!Error.ok()) {
+    std::memset(Out, 0, N);
+    return false;
+  }
+  if (N > Len - Pos) {
+    latchTruncated(N);
+    std::memset(Out, 0, N);
+    return false;
+  }
+  std::memcpy(Out, Data + Pos, N);
+  Pos += N;
+  return true;
+}
+
+void SnapshotCursor::latchTruncated(uint64_t Wanted) {
+  if (Error.ok())
+    Error = Status::failf(
+        StatusCode::Truncated,
+        "snapshot section '%s' ends with %zu bytes left, needing %llu",
+        Tag.c_str(), Len - Pos, static_cast<unsigned long long>(Wanted));
+}
+
+uint8_t SnapshotCursor::getU8() {
+  uint8_t V = 0;
+  take(&V, 1);
+  return V;
+}
+
+uint32_t SnapshotCursor::getU32() {
+  uint8_t B[4] = {};
+  take(B, 4);
+  return readU32(B);
+}
+
+uint64_t SnapshotCursor::getU64() {
+  uint8_t B[8] = {};
+  take(B, 8);
+  return readU64(B);
+}
+
+double SnapshotCursor::getDouble() {
+  uint64_t Bits = getU64();
+  double V;
+  std::memcpy(&V, &Bits, sizeof(V));
+  return V;
+}
+
+std::string SnapshotCursor::getString() {
+  uint64_t N = getU64();
+  if (!Error.ok())
+    return std::string();
+  if (N > Len - Pos) {
+    latchTruncated(N);
+    return std::string();
+  }
+  std::string S(reinterpret_cast<const char *>(Data + Pos),
+                static_cast<size_t>(N));
+  Pos += static_cast<size_t>(N);
+  return S;
+}
+
+void SnapshotCursor::getBytes(void *Out, size_t N) { take(Out, N); }
+
+std::vector<uint64_t> SnapshotCursor::getVecU64() {
+  uint64_t N = getU64();
+  std::vector<uint64_t> V;
+  if (!Error.ok())
+    return V;
+  // Guard the reserve against a hostile length: each element needs 8 bytes
+  // of payload, so a count beyond remaining()/8 is already truncation.
+  if (N > remaining() / 8) {
+    latchTruncated(N * 8);
+    return V;
+  }
+  V.reserve(static_cast<size_t>(N));
+  for (uint64_t I = 0; I != N; ++I)
+    V.push_back(getU64());
+  return V;
+}
+
+Status SnapshotCursor::finish() const {
+  if (!Error.ok())
+    return Error;
+  if (Pos != Len)
+    return Status::failf(StatusCode::Corrupt,
+                         "snapshot section '%s' has %zu trailing bytes",
+                         Tag.c_str(), Len - Pos);
+  return Status();
+}
+
+void SnapshotCursor::fail(Status S) {
+  assert(!S.ok() && "fail() needs an error status");
+  if (Error.ok())
+    Error = std::move(S);
+}
+
+//===----------------------------------------------------------------------===//
+// SnapshotReader
+//===----------------------------------------------------------------------===//
+
+Status SnapshotReader::open(const std::string &Path) {
+  Sections.clear();
+  if (faultInjector().shouldFire(FaultSite::SnapshotLoad))
+    return Status::failf(StatusCode::IoError,
+                         "injected snapshot-load fault for '%s'", Path.c_str());
+
+  FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F)
+    return Status::failf(StatusCode::IoError, "cannot open snapshot '%s'",
+                         Path.c_str());
+  std::vector<uint8_t> Blob;
+  uint8_t Buf[1 << 16];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Blob.insert(Blob.end(), Buf, Buf + N);
+  bool ReadError = std::ferror(F) != 0;
+  std::fclose(F);
+  if (ReadError)
+    return Status::failf(StatusCode::IoError, "cannot read snapshot '%s'",
+                         Path.c_str());
+
+  // Header.
+  if (Blob.size() < 16)
+    return Status::failf(StatusCode::Truncated,
+                         "snapshot '%s' is %zu bytes, shorter than its header",
+                         Path.c_str(), Blob.size());
+  if (std::memcmp(Blob.data(), SnapshotMagic, 4) != 0)
+    return Status::failf(StatusCode::Corrupt,
+                         "'%s' is not a snapshot file (bad magic)",
+                         Path.c_str());
+  uint32_t Version = readU32(Blob.data() + 4);
+  if (Version != SnapshotVersion)
+    return Status::failf(StatusCode::Corrupt,
+                         "snapshot '%s' has unsupported version %u",
+                         Path.c_str(), Version);
+  uint32_t Count = readU32(Blob.data() + 8);
+
+  // Sections.
+  size_t Pos = 16;
+  std::vector<Section> Loaded;
+  for (uint32_t I = 0; I != Count; ++I) {
+    if (Pos + 4 > Blob.size())
+      return Status::failf(StatusCode::Truncated,
+                           "snapshot '%s' ends inside section %u's frame",
+                           Path.c_str(), I);
+    uint32_t TagLen = readU32(Blob.data() + Pos);
+    Pos += 4;
+    if (TagLen == 0 || TagLen > 64)
+      return Status::failf(StatusCode::Corrupt,
+                           "snapshot '%s' section %u has tag length %u",
+                           Path.c_str(), I, TagLen);
+    if (Pos + TagLen + 12 > Blob.size())
+      return Status::failf(StatusCode::Truncated,
+                           "snapshot '%s' ends inside section %u's frame",
+                           Path.c_str(), I);
+    std::string Tag(reinterpret_cast<const char *>(Blob.data() + Pos), TagLen);
+    Pos += TagLen;
+    uint64_t PayloadLen = readU64(Blob.data() + Pos);
+    Pos += 8;
+    uint32_t WantCrc = readU32(Blob.data() + Pos);
+    Pos += 4;
+    if (PayloadLen > Blob.size() - Pos)
+      return Status::failf(StatusCode::Truncated,
+                           "snapshot '%s' section '%s' ends after %zu of "
+                           "%llu payload bytes",
+                           Path.c_str(), Tag.c_str(), Blob.size() - Pos,
+                           static_cast<unsigned long long>(PayloadLen));
+    uint32_t GotCrc = crc32(Blob.data() + Pos, PayloadLen);
+    if (GotCrc != WantCrc)
+      return Status::failf(StatusCode::Corrupt,
+                           "snapshot '%s' section '%s' fails its checksum "
+                           "(stored %08x, computed %08x)",
+                           Path.c_str(), Tag.c_str(), WantCrc, GotCrc);
+    Loaded.push_back(Section{
+        std::move(Tag),
+        std::vector<uint8_t>(Blob.begin() + Pos,
+                             Blob.begin() + Pos + PayloadLen)});
+    Pos += PayloadLen;
+  }
+  if (Pos != Blob.size())
+    return Status::failf(StatusCode::Corrupt,
+                         "snapshot '%s' has %zu trailing bytes", Path.c_str(),
+                         Blob.size() - Pos);
+  Sections = std::move(Loaded);
+  return Status();
+}
+
+bool SnapshotReader::hasSection(const std::string &Tag) const {
+  for (const Section &S : Sections)
+    if (S.Tag == Tag)
+      return true;
+  return false;
+}
+
+SnapshotCursor SnapshotReader::section(const std::string &Tag) const {
+  for (const Section &S : Sections)
+    if (S.Tag == Tag)
+      return SnapshotCursor(S.Tag, S.Payload.data(), S.Payload.size());
+  SnapshotCursor C;
+  C.fail(Status::failf(StatusCode::Corrupt, "snapshot has no section '%s'",
+                       Tag.c_str()));
+  return C;
+}
+
+Snapshottable::~Snapshottable() = default;

@@ -1,0 +1,175 @@
+//===- Snapshot.h - Crash-safe simulation-state snapshots -------*- C++ -*-===//
+//
+// Part of the gcache project (Reinhold, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The checkpoint/resume substrate. A snapshot is a small container file
+/// holding named, individually CRC-32-checksummed sections; each layer of
+/// the simulator (cache bank, counting sink, behaviour analyses, fault
+/// injector, replay cursor) serializes its state into one or more sections
+/// and can restore itself bit-identically from them.
+///
+/// Durability contract:
+///  - SnapshotWriter::writeFile writes to `<path>.tmp`, fflushes, fsyncs,
+///    and atomically renames onto `<path>`, so a crash mid-write can never
+///    leave a half-written file at the snapshot path.
+///  - SnapshotReader::open validates the whole file — magic, version,
+///    section framing, and every section's CRC — before exposing any
+///    section, and reports StatusCode::Truncated (file ends early: a torn
+///    or interrupted write) distinctly from StatusCode::Corrupt (framing or
+///    checksum violation: the bytes are not what was written). A damaged
+///    snapshot is therefore always *detected*; it is never loaded as valid
+///    data.
+///
+/// File format (version 1, all integers little-endian):
+///   header   "GCSP" u32 version u32 sectionCount u32 reserved(0)
+///   section  u32 tagLen, tag bytes, u64 payloadLen, u32 payloadCrc, payload
+///
+/// Checkpoint I/O is itself fault-injectable: writeFile is the
+/// `snapshot-write` site and open the `snapshot-load` site (see
+/// support/FaultInjector.h), so tests can prove that checkpoint failures
+/// degrade as structured errors rather than crashes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCACHE_SUPPORT_SNAPSHOT_H
+#define GCACHE_SUPPORT_SNAPSHOT_H
+
+#include "gcache/support/Status.h"
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace gcache {
+
+class SnapshotWriter;
+class SnapshotCursor;
+
+/// Accumulates named sections in memory, then writes them out atomically.
+class SnapshotWriter {
+public:
+  /// Starts a new section; subsequent put* calls append to it. \p Tag must
+  /// be non-empty and at most 64 bytes.
+  void beginSection(const std::string &Tag);
+
+  void putU8(uint8_t V) { append(&V, 1); }
+  void putU32(uint32_t V);
+  void putU64(uint64_t V);
+  /// Doubles are stored as their IEEE-754 bit pattern, so a round trip is
+  /// bit-exact.
+  void putDouble(double V);
+  /// u64 length followed by the raw bytes.
+  void putString(const std::string &S);
+  void putBytes(const void *Data, size_t Len) { append(Data, Len); }
+  /// u64 element count followed by the values.
+  void putVecU64(const std::vector<uint64_t> &V);
+
+  size_t sectionCount() const { return Sections.size(); }
+
+  /// Writes every section to `<Path>.tmp`, fsyncs, and renames onto
+  /// \p Path. On any failure (including an injected `snapshot-write`
+  /// fault) the temporary file is removed and IoError is returned; the
+  /// previous snapshot at \p Path, if any, is left untouched.
+  Status writeFile(const std::string &Path) const;
+
+private:
+  void append(const void *Data, size_t Len);
+
+  struct Section {
+    std::string Tag;
+    std::vector<uint8_t> Payload;
+  };
+  std::vector<Section> Sections;
+};
+
+/// A sticky-error read cursor over one section's payload. Reading past the
+/// end latches a Truncated error and returns zeros; callers check
+/// finish()/status() once after decoding instead of after every field.
+class SnapshotCursor {
+public:
+  SnapshotCursor() = default;
+  SnapshotCursor(std::string Tag, const uint8_t *Data, size_t Len)
+      : Tag(std::move(Tag)), Data(Data), Len(Len) {}
+
+  uint8_t getU8();
+  uint32_t getU32();
+  uint64_t getU64();
+  double getDouble();
+  std::string getString();
+  void getBytes(void *Out, size_t N);
+  std::vector<uint64_t> getVecU64();
+
+  size_t remaining() const { return Len - Pos; }
+  bool ok() const { return Error.ok(); }
+  const Status &status() const { return Error; }
+
+  /// Ok exactly when every read succeeded and the payload was consumed in
+  /// full (leftover bytes mean the reader and writer disagree about the
+  /// format and the data cannot be trusted).
+  Status finish() const;
+
+  /// Latches a caller-detected validation failure (e.g. a geometry
+  /// mismatch) so it surfaces through finish().
+  void fail(Status S);
+
+private:
+  bool take(void *Out, size_t N);
+  void latchTruncated(uint64_t Wanted);
+
+  std::string Tag;
+  const uint8_t *Data = nullptr;
+  size_t Len = 0;
+  size_t Pos = 0;
+  Status Error;
+};
+
+/// Loads a snapshot file, validates it in full, and hands out section
+/// cursors.
+class SnapshotReader {
+public:
+  /// Reads and validates \p Path. Returns IoError when the file cannot be
+  /// read (including an injected `snapshot-load` fault), Truncated when it
+  /// ends mid-structure, and Corrupt when magic, version, framing, or any
+  /// section CRC is wrong. After a failed open no section is accessible.
+  Status open(const std::string &Path);
+
+  bool hasSection(const std::string &Tag) const;
+  /// Cursor over the section's payload; a missing section returns a cursor
+  /// whose status is already Corrupt (the caller's finish() reports it).
+  SnapshotCursor section(const std::string &Tag) const;
+
+  size_t sectionCount() const { return Sections.size(); }
+
+private:
+  struct Section {
+    std::string Tag;
+    std::vector<uint8_t> Payload;
+  };
+  std::vector<Section> Sections;
+};
+
+/// Interface for components whose state can ride in a snapshot. saveTo
+/// appends one or more sections; loadFrom consumes the cursor positioned
+/// on the component's section and must validate configuration (geometry)
+/// before touching state.
+class Snapshottable {
+public:
+  virtual ~Snapshottable();
+
+  /// Stable section tag for this component.
+  virtual const char *snapshotTag() const = 0;
+  /// Appends this component's state (beginSection + payload) to \p W.
+  virtual void saveTo(SnapshotWriter &W) const = 0;
+  /// Restores state from this component's section in \p R. Returns
+  /// Corrupt/Truncated on any validation failure and leaves the component
+  /// unusable-for-results (callers discard it) rather than half-restored.
+  virtual Status loadFrom(const SnapshotReader &R) = 0;
+};
+
+} // namespace gcache
+
+#endif // GCACHE_SUPPORT_SNAPSHOT_H

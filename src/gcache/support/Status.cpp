@@ -31,6 +31,10 @@ const char *gcache::statusCodeName(StatusCode Code) {
     return "heap-corrupt";
   case StatusCode::Aborted:
     return "aborted";
+  case StatusCode::Corrupt:
+    return "corrupt";
+  case StatusCode::Truncated:
+    return "truncated";
   }
   return "unknown";
 }

@@ -49,6 +49,8 @@ enum class StatusCode : uint8_t {
   WorkerFailure,   ///< A ShardPool worker died.
   HeapCorrupt,     ///< Paranoid heap verification failed.
   Aborted,         ///< Injected workload-step abort.
+  Corrupt,         ///< On-disk data fails validation (CRC, magic, opcode).
+  Truncated,       ///< On-disk data ends early (torn or interrupted write).
 };
 
 /// Stable lower-case name of \p Code ("out-of-memory", "io-error", ...).

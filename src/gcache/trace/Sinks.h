@@ -16,6 +16,7 @@
 #ifndef GCACHE_TRACE_SINKS_H
 #define GCACHE_TRACE_SINKS_H
 
+#include "gcache/support/Snapshot.h"
 #include "gcache/trace/Event.h"
 
 #include <functional>
@@ -72,6 +73,23 @@ public:
   uint64_t mutatorRefs() const { return Counts[0][0] + Counts[0][1]; }
   uint64_t allocatedBytes() const { return AllocBytes; }
   uint64_t collections() const { return Collections; }
+
+  /// Appends all counters to an open snapshot section.
+  void save(SnapshotWriter &W) const {
+    for (const auto &PhaseCounts : Counts)
+      for (uint64_t V : PhaseCounts)
+        W.putU64(V);
+    W.putU64(AllocBytes);
+    W.putU64(Collections);
+  }
+  /// Restores the counters written by save(); errors latch in \p C.
+  void load(SnapshotCursor &C) {
+    for (auto &PhaseCounts : Counts)
+      for (uint64_t &V : PhaseCounts)
+        V = C.getU64();
+    AllocBytes = C.getU64();
+    Collections = C.getU64();
+  }
 
 private:
   uint64_t Counts[2][2] = {{0, 0}, {0, 0}};

@@ -6,12 +6,16 @@
 
 #include <cassert>
 #include <cstring>
+#include <unistd.h>
 
 using namespace gcache;
 
 namespace {
 constexpr char Magic[4] = {'G', 'C', 'T', 'R'};
-constexpr uint32_t Version = 1;
+constexpr char FooterMagic[4] = {'G', 'C', 'T', 'F'};
+constexpr uint32_t Version = 2;
+constexpr size_t HeaderBytes = 16;
+constexpr size_t FooterBytes = 8;
 
 enum Opcode : uint8_t {
   OpLoadMut = 0,
@@ -39,21 +43,26 @@ uint32_t get32(const uint8_t *P) {
 
 Status TraceWriter::open(const std::string &Path) {
   assert(!File && "writer already open");
-  File = std::fopen(Path.c_str(), "wb");
+  FinalPath = Path;
+  TmpPath = Path + ".tmp";
+  File = std::fopen(TmpPath.c_str(), "wb");
   if (!File)
     return Status::failf(StatusCode::IoError, "cannot open '%s' for writing",
-                         Path.c_str());
+                         TmpPath.c_str());
   Records = 0;
+  RecordCrc.reset();
   StreamStatus = Status();
   // Placeholder header; record count is patched in close().
-  uint8_t Header[16] = {};
+  uint8_t Header[HeaderBytes] = {};
   std::memcpy(Header, Magic, 4);
   put32(Header + 4, Version);
   if (std::fwrite(Header, 1, sizeof(Header), File) != sizeof(Header)) {
     std::fclose(File);
+    std::remove(TmpPath.c_str());
     File = nullptr;
     return Status::failf(StatusCode::IoError,
-                         "short write of trace header to '%s'", Path.c_str());
+                         "short write of trace header to '%s'",
+                         TmpPath.c_str());
   }
   return Status();
 }
@@ -83,6 +92,7 @@ void TraceWriter::emit(uint8_t Op, uint32_t A, uint32_t B, bool HasB) {
         static_cast<unsigned long long>(Records));
     return;
   }
+  RecordCrc.update(Buf, Len);
   ++Records;
 }
 
@@ -104,17 +114,36 @@ Status TraceWriter::close() {
   if (!File)
     return Status::fail(StatusCode::IoError, "trace writer is not open");
   Status Result = StreamStatus;
+
+  // Footer: checksum over every record byte.
+  if (Result.ok()) {
+    uint8_t Footer[FooterBytes];
+    std::memcpy(Footer, FooterMagic, 4);
+    put32(Footer + 4, RecordCrc.value());
+    if (std::fwrite(Footer, 1, sizeof(Footer), File) != sizeof(Footer))
+      Result =
+          Status::fail(StatusCode::IoError, "short write of trace footer");
+  }
+  // Patch the record count into the header and make the bytes durable.
   uint8_t Count[8];
   put32(Count, static_cast<uint32_t>(Records));
   put32(Count + 4, static_cast<uint32_t>(Records >> 32));
   if (Result.ok() && (std::fseek(File, 8, SEEK_SET) != 0 ||
                       std::fwrite(Count, 1, 8, File) != 8 ||
-                      std::fflush(File) != 0))
+                      std::fflush(File) != 0 || fsync(fileno(File)) != 0))
     Result = Status::fail(StatusCode::IoError,
                           "failed to finalize trace header");
   if (std::fclose(File) != 0 && Result.ok())
     Result = Status::fail(StatusCode::IoError, "fclose failed on trace file");
   File = nullptr;
+
+  // Install atomically on success; otherwise leave no partial file behind.
+  if (Result.ok() && std::rename(TmpPath.c_str(), FinalPath.c_str()) != 0)
+    Result = Status::failf(StatusCode::IoError,
+                           "cannot rename trace '%s' into place",
+                           TmpPath.c_str());
+  if (!Result.ok())
+    std::remove(TmpPath.c_str());
   return Result;
 }
 
@@ -123,84 +152,242 @@ TraceWriter::~TraceWriter() {
     close();
 }
 
-namespace {
-/// Parses the record stream that follows the header, dispatching each
-/// event to \p Sink when non-null. Returns the number of records parsed,
-/// or -1 if the stream is malformed (unknown opcode, mid-record EOF, or a
-/// record count that disagrees with the header).
-int64_t scanRecords(FILE *File, uint64_t Expected, TraceSink *Sink) {
-  uint64_t Seen = 0;
-  uint8_t Buf[9];
-  for (;;) {
-    size_t N = std::fread(Buf, 1, 5, File);
-    if (N == 0)
-      break; // clean end of stream
-    if (N != 5)
-      return -1; // EOF in the middle of a record
-    uint32_t A = get32(Buf + 1);
-    switch (Buf[0]) {
-    case OpLoadMut:
-      if (Sink)
-        Sink->onRef({A, AccessKind::Load, Phase::Mutator});
-      break;
-    case OpStoreMut:
-      if (Sink)
-        Sink->onRef({A, AccessKind::Store, Phase::Mutator});
-      break;
-    case OpLoadGc:
-      if (Sink)
-        Sink->onRef({A, AccessKind::Load, Phase::Collector});
-      break;
-    case OpStoreGc:
-      if (Sink)
-        Sink->onRef({A, AccessKind::Store, Phase::Collector});
-      break;
-    case OpAlloc:
-      if (std::fread(Buf + 5, 1, 4, File) != 4)
-        return -1; // EOF in the middle of the size payload
-      if (Sink)
-        Sink->onAlloc(A, get32(Buf + 5));
-      break;
-    case OpGcBegin:
-      if (Sink)
-        Sink->onGcBegin();
-      break;
-    case OpGcEnd:
-      if (Sink)
-        Sink->onGcEnd();
-      break;
-    default:
-      return -1; // unknown opcode
-    }
-    ++Seen;
+//===----------------------------------------------------------------------===//
+// TraceStream
+//===----------------------------------------------------------------------===//
+
+void TraceRecord::dispatch(TraceSink &S) const {
+  switch (Op) {
+  case Kind::Ref:
+    S.onRef(R);
+    break;
+  case Kind::Alloc:
+    S.onAlloc(AllocAddr, AllocBytes);
+    break;
+  case Kind::GcBegin:
+    S.onGcBegin();
+    break;
+  case Kind::GcEnd:
+    S.onGcEnd();
+    break;
   }
-  if (Seen != Expected)
-    return -1;
-  return static_cast<int64_t>(Seen);
 }
+
+namespace {
+
+/// Length in bytes of the record starting with \p Op, or 0 if the opcode
+/// is unknown.
+size_t recordLen(uint8_t Op) {
+  switch (Op) {
+  case OpLoadMut:
+  case OpStoreMut:
+  case OpLoadGc:
+  case OpStoreGc:
+  case OpGcBegin:
+  case OpGcEnd:
+    return 5;
+  case OpAlloc:
+    return 9;
+  default:
+    return 0;
+  }
+}
+
 } // namespace
 
-int64_t TraceReader::replay(const std::string &Path, TraceSink &Sink) {
+Status TraceStream::open(const std::string &Path, bool Salvage) {
+  Data.clear();
+  RecordsBegin = RecordsEnd = Pos = 0;
+  Index = Count = 0;
+  Damage = Status();
+
   FILE *File = std::fopen(Path.c_str(), "rb");
   if (!File)
-    return -1;
-  std::setvbuf(File, nullptr, _IOFBF, 1u << 20);
-  uint8_t Header[16];
-  if (std::fread(Header, 1, sizeof(Header), File) != sizeof(Header) ||
-      std::memcmp(Header, Magic, 4) != 0 || get32(Header + 4) != Version) {
-    std::fclose(File);
-    return -1;
-  }
-  uint64_t Expected = static_cast<uint64_t>(get32(Header + 8)) |
-                      (static_cast<uint64_t>(get32(Header + 12)) << 32);
-  // Validate the whole file before dispatching a single event, so that a
-  // malformed trace never partially mutates the sink.
-  if (scanRecords(File, Expected, nullptr) < 0 ||
-      std::fseek(File, sizeof(Header), SEEK_SET) != 0) {
-    std::fclose(File);
-    return -1;
-  }
-  int64_t Replayed = scanRecords(File, Expected, &Sink);
+    return Status::failf(StatusCode::IoError, "cannot open trace '%s'",
+                         Path.c_str());
+  uint8_t Buf[1 << 16];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), File)) > 0)
+    Data.insert(Data.end(), Buf, Buf + N);
+  bool ReadError = std::ferror(File) != 0;
   std::fclose(File);
+  if (ReadError) {
+    Data.clear();
+    return Status::failf(StatusCode::IoError, "cannot read trace '%s'",
+                         Path.c_str());
+  }
+
+  // Header. Damage this early is never salvageable: with no intact header
+  // there is no record stream to cut a prefix from.
+  if (Data.size() < HeaderBytes)
+    return Status::failf(StatusCode::Truncated,
+                         "trace '%s' is %zu bytes, shorter than its header",
+                         Path.c_str(), Data.size());
+  if (std::memcmp(Data.data(), Magic, 4) != 0)
+    return Status::failf(StatusCode::Corrupt,
+                         "'%s' is not a trace file (bad magic)", Path.c_str());
+  uint32_t FileVersion = get32(Data.data() + 4);
+  if (FileVersion < 1 || FileVersion > Version)
+    return Status::failf(StatusCode::Corrupt,
+                         "trace '%s' has unsupported version %u", Path.c_str(),
+                         FileVersion);
+  uint64_t Expected = static_cast<uint64_t>(get32(Data.data() + 8)) |
+                      (static_cast<uint64_t>(get32(Data.data() + 12)) << 32);
+  bool HasFooter = FileVersion >= 2;
+
+  // Walk the record stream, remembering the end of the last whole record
+  // so salvage can cut there.
+  size_t StreamEnd = Data.size() - (HasFooter ? FooterBytes : 0);
+  bool FooterMissing = false;
+  if (HasFooter && Data.size() < HeaderBytes + FooterBytes) {
+    StreamEnd = Data.size();
+    FooterMissing = true;
+  }
+  RecordsBegin = HeaderBytes;
+  size_t P = RecordsBegin;
+  uint64_t Seen = 0;
+  Status Found; // first structural problem, if any
+  while (P < StreamEnd) {
+    size_t Len = recordLen(Data[P]);
+    if (Len == 0) {
+      Found = Status::failf(StatusCode::Corrupt,
+                            "trace '%s' has unknown opcode %u at record %llu",
+                            Path.c_str(), Data[P],
+                            static_cast<unsigned long long>(Seen));
+      break;
+    }
+    if (P + Len > StreamEnd) {
+      // The stream ends inside this record. For a footered file the tail
+      // bytes we reserved for the footer might actually be record bytes of
+      // a truncated file — either way the structure ends early.
+      Found = Status::failf(StatusCode::Truncated,
+                            "trace '%s' ends inside record %llu", Path.c_str(),
+                            static_cast<unsigned long long>(Seen));
+      break;
+    }
+    P += Len;
+    ++Seen;
+  }
+  RecordsEnd = P;
+
+  if (Found.ok() && FooterMissing)
+    Found = Status::failf(StatusCode::Truncated,
+                          "trace '%s' ends before its footer", Path.c_str());
+  if (Found.ok() && HasFooter &&
+      std::memcmp(Data.data() + StreamEnd, FooterMagic, 4) != 0)
+    Found = Status::failf(StatusCode::Corrupt,
+                          "trace '%s' has a malformed footer", Path.c_str());
+  if (Found.ok() && HasFooter) {
+    uint32_t WantCrc = get32(Data.data() + StreamEnd + 4);
+    uint32_t GotCrc =
+        crc32(Data.data() + RecordsBegin, RecordsEnd - RecordsBegin);
+    if (GotCrc != WantCrc)
+      Found = Status::failf(StatusCode::Corrupt,
+                            "trace '%s' fails its checksum (stored %08x, "
+                            "computed %08x)",
+                            Path.c_str(), WantCrc, GotCrc);
+  }
+  if (Found.ok() && Seen != Expected)
+    Found = Status::failf(StatusCode::Corrupt,
+                          "trace '%s' holds %llu records but its header "
+                          "promises %llu",
+                          Path.c_str(),
+                          static_cast<unsigned long long>(Seen),
+                          static_cast<unsigned long long>(Expected));
+
+  if (!Found.ok()) {
+    if (!Salvage) {
+      Data.clear();
+      RecordsBegin = RecordsEnd = 0;
+      return Found;
+    }
+    // Salvage: keep the longest valid record prefix, remember what was
+    // lost. A checksum failure cannot localize the damage, so the whole
+    // stream stays (the framing was intact) — the caller opted into
+    // trusting it.
+    Damage = Found;
+  }
+  Count = Seen;
+  Pos = RecordsBegin;
+  return Status();
+}
+
+bool TraceStream::next(TraceRecord &Rec) {
+  if (Pos >= RecordsEnd)
+    return false;
+  const uint8_t *P = Data.data() + Pos;
+  size_t Len = recordLen(P[0]);
+  assert(Len != 0 && Pos + Len <= RecordsEnd && "stream validated at open");
+  uint32_t A = get32(P + 1);
+  switch (P[0]) {
+  case OpLoadMut:
+    Rec.Op = TraceRecord::Kind::Ref;
+    Rec.R = {A, AccessKind::Load, Phase::Mutator};
+    break;
+  case OpStoreMut:
+    Rec.Op = TraceRecord::Kind::Ref;
+    Rec.R = {A, AccessKind::Store, Phase::Mutator};
+    break;
+  case OpLoadGc:
+    Rec.Op = TraceRecord::Kind::Ref;
+    Rec.R = {A, AccessKind::Load, Phase::Collector};
+    break;
+  case OpStoreGc:
+    Rec.Op = TraceRecord::Kind::Ref;
+    Rec.R = {A, AccessKind::Store, Phase::Collector};
+    break;
+  case OpAlloc:
+    Rec.Op = TraceRecord::Kind::Alloc;
+    Rec.AllocAddr = A;
+    Rec.AllocBytes = get32(P + 5);
+    break;
+  case OpGcBegin:
+    Rec.Op = TraceRecord::Kind::GcBegin;
+    break;
+  case OpGcEnd:
+    Rec.Op = TraceRecord::Kind::GcEnd;
+    break;
+  }
+  Pos += Len;
+  ++Index;
+  return true;
+}
+
+Status TraceStream::seekTo(uint64_t RecordIndex, uint64_t ByteOffset) {
+  if (ByteOffset < RecordsBegin || ByteOffset > RecordsEnd ||
+      RecordIndex > Count)
+    return Status::failf(StatusCode::Corrupt,
+                         "trace resume point (record %llu, byte %llu) is "
+                         "outside the stream",
+                         static_cast<unsigned long long>(RecordIndex),
+                         static_cast<unsigned long long>(ByteOffset));
+  Pos = static_cast<size_t>(ByteOffset);
+  Index = RecordIndex;
+  return Status();
+}
+
+//===----------------------------------------------------------------------===//
+// TraceReader
+//===----------------------------------------------------------------------===//
+
+Expected<uint64_t> TraceReader::replayEx(const std::string &Path,
+                                         TraceSink &Sink,
+                                         const ReplayOptions &Opts) {
+  TraceStream Stream;
+  if (Status S = Stream.open(Path, Opts.Salvage); !S.ok())
+    return S;
+  TraceRecord Rec;
+  uint64_t Replayed = 0;
+  while (Stream.next(Rec)) {
+    Rec.dispatch(Sink);
+    ++Replayed;
+  }
   return Replayed;
+}
+
+int64_t TraceReader::replay(const std::string &Path, TraceSink &Sink) {
+  Expected<uint64_t> N = replayEx(Path, Sink);
+  if (!N)
+    return -1;
+  return static_cast<int64_t>(*N);
 }

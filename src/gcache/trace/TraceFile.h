@@ -7,42 +7,61 @@
 /// \file
 /// A compact binary on-disk format for reference traces. The experiments
 /// normally run execution-driven (the program feeds the simulators live),
-/// but a file format allows decoupled replay, cross-checking, and testing:
-/// write a run once, then re-simulate it under many cache models.
+/// but a file format allows decoupled replay, cross-checking, testing, and
+/// — together with the snapshot layer — crash-safe checkpointed replay:
+/// write a run once, then re-simulate it under many cache models, resuming
+/// after an interruption from the exact record where a checkpoint was cut.
 ///
-/// Format: 16-byte header (magic "GCTR", version, record count), then one
-/// 6-byte record per event: a 1-byte opcode (kind+phase or control event)
-/// followed by a 4-byte little-endian address and, for allocations, a
-/// 4-byte size instead of the address-only payload.
+/// Format (all integers little-endian):
+///   header   "GCTR", u32 version, u64 record count
+///   records  one per event: 1-byte opcode (kind+phase or control event),
+///            4-byte address, and for allocations a further 4-byte size
+///   footer   (version >= 2) "GCTF", u32 CRC-32 over all record bytes
+///
+/// Version 1 files (no footer) remain fully readable. Version 2 adds the
+/// checksum footer, and the writer gains durability: the stream goes to
+/// `<path>.tmp` and is fflushed, fsynced, and atomically renamed onto the
+/// final path only when close() succeeds — a crash or write failure never
+/// leaves a half-written trace at the final path.
 ///
 /// Error handling: open() and close() return Status; mid-stream write
 /// failures (short fwrite, injected trace-write disk-full) latch a sticky
 /// IoError visible through status(), and the writer stops emitting so a
 /// single failure does not cascade into thousands of fwrite errors.
+/// Readers distinguish StatusCode::Corrupt (bad magic, unknown opcode or
+/// version, checksum or record-count mismatch) from StatusCode::Truncated
+/// (the file ends mid-structure), and an opt-in salvage mode replays the
+/// longest valid record prefix of a damaged file instead of refusing it.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef GCACHE_TRACE_TRACEFILE_H
 #define GCACHE_TRACE_TRACEFILE_H
 
+#include "gcache/support/Crc32.h"
 #include "gcache/support/Status.h"
 #include "gcache/trace/Event.h"
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
 namespace gcache {
 
-/// Streams trace events to a binary file.
+/// Streams trace events to a binary file (current version, with footer),
+/// durably: the final path is only ever empty, the complete old file, or
+/// the complete new file.
 class TraceWriter final : public TraceSink {
 public:
-  /// Opens \p Path for writing; on error returns IoError and stays
-  /// closed.
+  /// Opens `<Path>.tmp` for writing; on error returns IoError and stays
+  /// closed. The file appears at \p Path when close() succeeds.
   Status open(const std::string &Path);
 
-  /// Finalizes the header and closes the file. Returns the sticky stream
-  /// status: any short write during the stream (including an injected
-  /// trace-write fault) or a failed seek/flush/close surfaces here.
+  /// Writes the checksum footer, finalizes the header, fsyncs, and
+  /// atomically renames the temporary onto the final path. Returns the
+  /// sticky stream status: any short write during the stream (including an
+  /// injected trace-write fault) or a failed finalize surfaces here, and
+  /// on failure the temporary is removed — nothing is installed.
   Status close();
 
   bool isOpen() const { return File != nullptr; }
@@ -64,18 +83,88 @@ private:
   void emit(uint8_t Op, uint32_t A, uint32_t B, bool HasB);
 
   FILE *File = nullptr;
+  std::string FinalPath;
+  std::string TmpPath;
   uint64_t Records = 0;
+  Crc32 RecordCrc;
   Status StreamStatus;
+};
+
+/// One decoded trace record.
+struct TraceRecord {
+  enum class Kind : uint8_t { Ref, Alloc, GcBegin, GcEnd };
+  Kind Op = Kind::Ref;
+  Ref R;                   ///< Valid for Kind::Ref.
+  Address AllocAddr = 0;   ///< Valid for Kind::Alloc.
+  uint32_t AllocBytes = 0; ///< Valid for Kind::Alloc.
+
+  /// Forwards this record to the matching TraceSink callback.
+  void dispatch(TraceSink &S) const;
+};
+
+/// A validated, seekable reader over one trace file's record stream — the
+/// substrate for both whole-file replay and checkpointed resume.
+///
+/// open() reads and validates the entire file up front (framing, record
+/// count, and the version-2 checksum), so next() never fails mid-stream
+/// and a malformed trace never partially mutates a sink. recordIndex() and
+/// byteOffset() identify the exact resume point for a checkpoint;
+/// seekTo() returns there.
+class TraceStream {
+public:
+  /// Opens and fully validates \p Path. Returns IoError (unreadable),
+  /// Corrupt (bad magic/version/opcode, checksum or count mismatch,
+  /// trailing bytes), or Truncated (ends mid-structure). With \p Salvage,
+  /// structural damage is not fatal: the stream is cut to the longest
+  /// valid record prefix, open() succeeds, and the suppressed error is
+  /// reported by damage().
+  Status open(const std::string &Path, bool Salvage = false);
+
+  /// Decodes the next record; false at end of stream.
+  bool next(TraceRecord &Rec);
+
+  /// Records decoded so far / the byte position of the next record.
+  uint64_t recordIndex() const { return Index; }
+  uint64_t byteOffset() const { return Pos; }
+
+  /// Repositions to a (recordIndex, byteOffset) pair previously read from
+  /// this trace (typically out of a checkpoint). The offset is validated
+  /// against the record stream's bounds.
+  Status seekTo(uint64_t RecordIndex, uint64_t ByteOffset);
+
+  /// Valid records in the (possibly salvage-cut) stream.
+  uint64_t recordCount() const { return Count; }
+
+  /// Ok unless salvage mode suppressed damage; then the Corrupt/Truncated
+  /// status describing what was cut off.
+  const Status &damage() const { return Damage; }
+
+private:
+  std::vector<uint8_t> Data; ///< Whole file, validated at open().
+  size_t RecordsBegin = 0;   ///< First record byte.
+  size_t RecordsEnd = 0;     ///< One past the last valid record byte.
+  size_t Pos = 0;
+  uint64_t Index = 0;
+  uint64_t Count = 0;
+  Status Damage;
+};
+
+/// Replay options for TraceReader::replayEx.
+struct ReplayOptions {
+  bool Salvage = false; ///< Replay the longest valid prefix of damage.
 };
 
 /// Replays a binary trace file into a sink.
 class TraceReader {
 public:
-  /// Reads \p Path and replays every event into \p Sink. Returns the number
-  /// of records replayed, or -1 on open/format error (bad magic, wrong
-  /// version, unknown opcode, truncation, or a header record count that
-  /// disagrees with the stream). The file is validated in full before the
-  /// first event is dispatched, so on error the sink is never mutated.
+  /// Reads \p Path and replays every event into \p Sink. Returns the
+  /// number of records replayed, or the open error (IoError / Corrupt /
+  /// Truncated — see TraceStream::open). With Opts.Salvage, damaged files
+  /// replay their longest valid prefix instead of failing.
+  static Expected<uint64_t> replayEx(const std::string &Path, TraceSink &Sink,
+                                     const ReplayOptions &Opts = {});
+
+  /// Legacy interface: number of records replayed, or -1 on any error.
   static int64_t replay(const std::string &Path, TraceSink &Sink);
 };
 

@@ -8,10 +8,12 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "gcache/core/Checkpoint.h"
 #include "gcache/core/Experiment.h"
 #include "gcache/memsys/CacheBank.h"
 #include "gcache/support/FaultInjector.h"
 #include "gcache/support/Random.h"
+#include "gcache/support/Snapshot.h"
 #include "gcache/trace/TraceFile.h"
 #include "gcache/vm/SchemeSystem.h"
 #include "gcache/workloads/Workload.h"
@@ -285,6 +287,214 @@ TEST_F(FaultInjection, TraceWriteFaultLatchesStickyIoError) {
   Status Close = W.close();
   ASSERT_FALSE(Close.ok()) << "close must surface the sticky stream error";
   EXPECT_EQ(Close.code(), StatusCode::IoError);
+}
+
+//===----------------------------------------------------------------------===//
+// snapshot-write / snapshot-load
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A small synthetic trace with GC phases, so a checkpointed replay cuts
+/// several snapshots (at each GC end and periodically).
+std::string makeSyntheticTrace(const char *Name) {
+  std::string Path = ::testing::TempDir() + "/" + Name;
+  TraceWriter W;
+  EXPECT_TRUE(W.open(Path).ok());
+  Rng R(13);
+  for (int Block = 0; Block != 6; ++Block) {
+    for (int I = 0; I != 300; ++I)
+      W.onRef({0x10000000 + (static_cast<Address>(R.below(1u << 18)) & ~3u),
+               AccessKind::Load, Phase::Mutator});
+    W.onGcBegin();
+    for (int I = 0; I != 50; ++I)
+      W.onRef({0x20000000 + (static_cast<Address>(R.below(1u << 16)) & ~3u),
+               AccessKind::Store, Phase::Collector});
+    W.onGcEnd();
+  }
+  EXPECT_TRUE(W.close().ok());
+  return Path;
+}
+
+void addOneCache(CacheBank &Bank) {
+  CacheConfig C;
+  C.SizeBytes = 16 << 10;
+  C.BlockBytes = 32;
+  Bank.addConfig(C);
+}
+
+} // namespace
+
+// An injected write failure must surface as a structured IoError and must
+// not clobber the previous good snapshot (atomicity: tmp+rename).
+TEST_F(FaultInjection, SnapshotWriteFaultIsStructuredAndAtomic) {
+  std::string Path = ::testing::TempDir() + "/gcache_fault_snapwrite.snap";
+  SnapshotWriter Good;
+  Good.beginSection("probe");
+  Good.putU64(42);
+  ASSERT_TRUE(Good.writeFile(Path).ok());
+
+  faultInjector().arm({FaultSite::SnapshotWrite, 1, 0});
+  SnapshotWriter Update;
+  Update.beginSection("probe");
+  Update.putU64(99);
+  Status S = Update.writeFile(Path);
+  ASSERT_FALSE(S.ok());
+  EXPECT_EQ(S.code(), StatusCode::IoError);
+  EXPECT_NE(S.message().find("injected snapshot-write"), std::string::npos);
+
+  // The old snapshot is untouched and still loads.
+  faultInjector().disarm();
+  SnapshotReader Rd;
+  ASSERT_TRUE(Rd.open(Path).ok());
+  SnapshotCursor C = Rd.section("probe");
+  EXPECT_EQ(C.getU64(), 42u);
+  EXPECT_TRUE(C.finish().ok());
+  std::remove(Path.c_str());
+}
+
+TEST_F(FaultInjection, SnapshotLoadFaultIsStructured) {
+  std::string Path = ::testing::TempDir() + "/gcache_fault_snapload.snap";
+  SnapshotWriter W;
+  W.beginSection("probe");
+  W.putU64(7);
+  ASSERT_TRUE(W.writeFile(Path).ok());
+
+  faultInjector().arm({FaultSite::SnapshotLoad, 1, 0});
+  SnapshotReader Rd;
+  Status S = Rd.open(Path);
+  ASSERT_FALSE(S.ok());
+  EXPECT_EQ(S.code(), StatusCode::IoError);
+  EXPECT_NE(S.message().find("injected snapshot-load"), std::string::npos);
+
+  faultInjector().disarm();
+  EXPECT_TRUE(Rd.open(Path).ok()) << "one-shot fault: next open succeeds";
+  std::remove(Path.c_str());
+}
+
+// The OOM-style sweep for the snapshot sites: fail every single checkpoint
+// write of a checkpointed replay, one run per write, and require a
+// structured IoError every time — never a crash, never a half-written
+// file accepted later.
+TEST_F(FaultInjection, SnapshotWriteFaultAtEveryCheckpointIsStructured) {
+  FaultInjector &Fi = faultInjector();
+  std::string Trace = makeSyntheticTrace("gcache_fault_sweep.gct");
+  std::string Snap = ::testing::TempDir() + "/gcache_fault_sweep.snap";
+
+  ReplayCheckpointOptions Opts;
+  Opts.SnapshotPath = Snap;
+  Opts.EveryRefs = 200;
+
+  // Census pass: count how many checkpoint writes a clean replay makes.
+  Fi.disarm();
+  Fi.resetCounters();
+  {
+    std::remove(Snap.c_str());
+    CacheBank Bank;
+    addOneCache(Bank);
+    CountingSink Counts;
+    ASSERT_TRUE(replayTraceCheckpointed(Trace, Bank, Counts, Opts).ok());
+  }
+  const uint64_t Writes = Fi.occurrences(FaultSite::SnapshotWrite);
+  ASSERT_GT(Writes, 5u) << "sweep needs several checkpoints to be meaningful";
+
+  for (uint64_t N = 1; N <= Writes; ++N) {
+    std::remove(Snap.c_str());
+    Fi.arm({FaultSite::SnapshotWrite, N, 0});
+    CacheBank Bank;
+    addOneCache(Bank);
+    CountingSink Counts;
+    Expected<ReplayCheckpointResult> R =
+        replayTraceCheckpointed(Trace, Bank, Counts, Opts);
+    ASSERT_FALSE(R.ok()) << "checkpoint write " << N << " did not fail";
+    ASSERT_EQ(R.status().code(), StatusCode::IoError)
+        << "write " << N << ": " << R.status().toString();
+
+    // The failing write never tears the on-disk state: either no snapshot
+    // exists yet (the first write failed) or the previous complete
+    // checkpoint still opens and validates.
+    Fi.disarm();
+    Fi.resetCounters();
+    if (FILE *F = std::fopen(Snap.c_str(), "rb")) {
+      std::fclose(F);
+      SnapshotReader Rd;
+      EXPECT_TRUE(Rd.open(Snap).ok()) << "write " << N;
+    }
+  }
+
+  // Injector state rides in the checkpoint, so a resumed replay re-fires
+  // a mid-trace fault at the same global occurrence — the crash is
+  // reproduced, not silently skipped (the supervisor's deny list is what
+  // eventually breaks such loops).
+  {
+    std::remove(Snap.c_str());
+    Fi.arm({FaultSite::SnapshotWrite, Writes / 2, 0});
+    CacheBank Bank;
+    addOneCache(Bank);
+    CountingSink Counts;
+    ASSERT_EQ(replayTraceCheckpointed(Trace, Bank, Counts, Opts)
+                  .status()
+                  .code(),
+              StatusCode::IoError);
+
+    Fi.disarm();
+    Fi.resetCounters();
+    CacheBank Resumed;
+    addOneCache(Resumed);
+    CountingSink ResumedCounts;
+    ReplayCheckpointOptions ResumeOpts = Opts;
+    ResumeOpts.Resume = true;
+    Expected<ReplayCheckpointResult> R =
+        replayTraceCheckpointed(Trace, Resumed, ResumedCounts, ResumeOpts);
+    ASSERT_FALSE(R.ok()) << "the restored injector must re-fire";
+    EXPECT_EQ(R.status().code(), StatusCode::IoError);
+    EXPECT_NE(R.status().message().find("injected snapshot-write"),
+              std::string::npos);
+  }
+  std::remove(Snap.c_str());
+}
+
+// And the load side: a replay that resumes through an injected load fault
+// reports it; the snapshot itself is fine on the next attempt.
+TEST_F(FaultInjection, SnapshotLoadFaultDuringResumeIsStructured) {
+  FaultInjector &Fi = faultInjector();
+  std::string Trace = makeSyntheticTrace("gcache_fault_resume.gct");
+  std::string Snap = ::testing::TempDir() + "/gcache_fault_resume.snap";
+  std::remove(Snap.c_str());
+
+  ReplayCheckpointOptions Opts;
+  Opts.SnapshotPath = Snap;
+  Opts.EveryRefs = 200;
+  Opts.StopAfterRecords = 900; // killed mid-replay, snapshot left behind
+  {
+    CacheBank Bank;
+    addOneCache(Bank);
+    CountingSink Counts;
+    ASSERT_EQ(
+        replayTraceCheckpointed(Trace, Bank, Counts, Opts).status().code(),
+        StatusCode::Aborted);
+  }
+
+  Fi.arm({FaultSite::SnapshotLoad, 1, 0});
+  ReplayCheckpointOptions ResumeOpts;
+  ResumeOpts.SnapshotPath = Snap;
+  ResumeOpts.Resume = true;
+  CacheBank Bank;
+  addOneCache(Bank);
+  CountingSink Counts;
+  Expected<ReplayCheckpointResult> R =
+      replayTraceCheckpointed(Trace, Bank, Counts, ResumeOpts);
+  ASSERT_FALSE(R.ok());
+  EXPECT_EQ(R.status().code(), StatusCode::IoError);
+  EXPECT_NE(R.status().message().find("injected snapshot-load"),
+            std::string::npos);
+
+  Fi.disarm();
+  CacheBank Bank2;
+  addOneCache(Bank2);
+  CountingSink Counts2;
+  EXPECT_TRUE(replayTraceCheckpointed(Trace, Bank2, Counts2, ResumeOpts).ok());
+  std::remove(Snap.c_str());
 }
 
 //===----------------------------------------------------------------------===//

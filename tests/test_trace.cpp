@@ -158,7 +158,7 @@ TEST(TraceFile, RejectsBadMagic) {
 }
 
 TEST(TraceFile, RejectsWrongVersion) {
-  expectRejectedWithoutSinkMutation("bad_version", header(0, /*Version=*/2));
+  expectRejectedWithoutSinkMutation("bad_version", header(0, /*Version=*/3));
 }
 
 TEST(TraceFile, RejectsMidRecordEofWithoutMutatingSink) {
@@ -191,6 +191,197 @@ TEST(TraceFile, RejectsRecordCountMismatchWithoutMutatingSink) {
   std::vector<uint8_t> Bytes = header(3);
   Bytes.insert(Bytes.end(), {0 /*OpLoadMut*/, 0x00, 0x10, 0x00, 0x00});
   expectRejectedWithoutSinkMutation("count_mismatch", Bytes);
+}
+
+//===----------------------------------------------------------------------===//
+// Version 2: checksum footer, corrupt/truncated classification, salvage
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Reads \p Path back as raw bytes.
+std::vector<uint8_t> readRaw(const std::string &Path) {
+  std::vector<uint8_t> Bytes;
+  FILE *F = fopen(Path.c_str(), "rb");
+  EXPECT_NE(F, nullptr) << Path;
+  if (!F)
+    return Bytes;
+  uint8_t Buf[4096];
+  size_t N;
+  while ((N = fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Bytes.insert(Bytes.end(), Buf, Buf + N);
+  fclose(F);
+  return Bytes;
+}
+
+/// Writes a small valid current-version trace (4 records: two mutator
+/// refs, a GC begin/end pair) and returns its path.
+std::string writeSmallTrace(const char *Name) {
+  std::string Path = tempPath(Name);
+  TraceWriter W;
+  EXPECT_TRUE(W.open(Path).ok());
+  W.onRef({0x1000, AccessKind::Load, Phase::Mutator});
+  W.onRef({0x1004, AccessKind::Store, Phase::Mutator});
+  W.onGcBegin();
+  W.onGcEnd();
+  EXPECT_TRUE(W.close().ok());
+  return Path;
+}
+
+} // namespace
+
+TEST(TraceFileV2, WriterEmitsVersionTwoWithFooter) {
+  std::string Path = writeSmallTrace("v2_format.gct");
+  std::vector<uint8_t> Bytes = readRaw(Path);
+  // Header: magic, version 2, count 4. Records: 2+2 at 5 bytes each.
+  // Footer: "GCTF" + CRC.
+  ASSERT_EQ(Bytes.size(), 16u + 4 * 5 + 8);
+  EXPECT_EQ(Bytes[4], 2u) << "writer must stamp version 2";
+  EXPECT_EQ(std::memcmp(Bytes.data() + Bytes.size() - 8, "GCTF", 4), 0);
+  std::remove(Path.c_str());
+}
+
+TEST(TraceFileV2, VersionOneFilesWithoutFooterStillReplay) {
+  // A hand-built v1 file: no footer, just header + records.
+  std::vector<uint8_t> Bytes = header(2, /*Version=*/1);
+  Bytes.insert(Bytes.end(), {0 /*OpLoadMut*/, 0x00, 0x10, 0x00, 0x00});
+  Bytes.insert(Bytes.end(), {4 /*OpAlloc*/, 0x00, 0x20, 0x00, 0x00, 0x18, 0x00,
+                             0x00, 0x00});
+  std::string Path = tempPath("v1_compat.gct");
+  writeRaw(Path, Bytes);
+  CountingSink S;
+  Expected<uint64_t> R = TraceReader::replayEx(Path, S);
+  ASSERT_TRUE(R.ok()) << R.status().message();
+  EXPECT_EQ(*R, 2u);
+  EXPECT_EQ(S.totalRefs(), 1u);
+  EXPECT_EQ(S.allocatedBytes(), 0x18u);
+  std::remove(Path.c_str());
+}
+
+TEST(TraceFileV2, ChecksumCatchesFlippedRecordByte) {
+  std::string Path = writeSmallTrace("v2_crc.gct");
+  std::vector<uint8_t> Bytes = readRaw(Path);
+  Bytes[16 + 2] ^= 0x01; // an address byte: framing stays valid
+  writeRaw(Path, Bytes);
+
+  CountingSink S;
+  Expected<uint64_t> R = TraceReader::replayEx(Path, S);
+  ASSERT_FALSE(R.ok());
+  EXPECT_EQ(R.status().code(), StatusCode::Corrupt);
+  EXPECT_EQ(S.totalRefs(), 0u) << "no partial delivery on checksum failure";
+  std::remove(Path.c_str());
+}
+
+TEST(TraceFileV2, ReportsTruncationDistinctlyFromCorruption) {
+  std::string Path = writeSmallTrace("v2_trunc.gct");
+  std::vector<uint8_t> Good = readRaw(Path);
+
+  // Every proper prefix is Truncated — a torn write, not corruption.
+  for (size_t Cut : {Good.size() - 1, Good.size() - 8, size_t(16 + 7)}) {
+    writeRaw(Path, std::vector<uint8_t>(Good.begin(), Good.begin() + Cut));
+    CountingSink S;
+    Expected<uint64_t> R = TraceReader::replayEx(Path, S);
+    ASSERT_FALSE(R.ok()) << "cut at " << Cut;
+    EXPECT_EQ(R.status().code(), StatusCode::Truncated) << "cut at " << Cut;
+  }
+
+  // A damaged footer magic is Corrupt, not Truncated.
+  std::vector<uint8_t> BadFooter = Good;
+  BadFooter[BadFooter.size() - 8] = 'X';
+  writeRaw(Path, BadFooter);
+  CountingSink S;
+  Expected<uint64_t> R = TraceReader::replayEx(Path, S);
+  ASSERT_FALSE(R.ok());
+  EXPECT_EQ(R.status().code(), StatusCode::Corrupt);
+  std::remove(Path.c_str());
+}
+
+TEST(TraceFileV2, SalvageReplaysLongestValidPrefix) {
+  std::string Path = tempPath("v2_salvage.gct");
+  TraceWriter W;
+  ASSERT_TRUE(W.open(Path).ok());
+  for (Address A = 0; A != 6 * 4; A += 4)
+    W.onRef({0x1000 + A, AccessKind::Load, Phase::Mutator});
+  ASSERT_TRUE(W.close().ok());
+  std::vector<uint8_t> Good = readRaw(Path);
+  ASSERT_EQ(Good.size(), 16u + 6 * 5 + 8);
+
+  // Tear the file mid-way through record 5. The reader reserves the last
+  // 8 remaining bytes as a potential footer, so the salvageable prefix is
+  // the records that fit before that reserve: the first two.
+  size_t Cut = 16 + 4 * 5 + 2;
+  writeRaw(Path, std::vector<uint8_t>(Good.begin(), Good.begin() + Cut));
+
+  CountingSink Strict;
+  ASSERT_FALSE(TraceReader::replayEx(Path, Strict).ok());
+
+  CountingSink S;
+  ReplayOptions Opts;
+  Opts.Salvage = true;
+  Expected<uint64_t> R = TraceReader::replayEx(Path, S, Opts);
+  ASSERT_TRUE(R.ok()) << R.status().message();
+  EXPECT_EQ(*R, 2u);
+  EXPECT_EQ(S.totalRefs(), 2u) << "salvage delivers exactly the prefix";
+
+  // The suppressed damage is still visible through TraceStream.
+  TraceStream Stream;
+  ASSERT_TRUE(Stream.open(Path, /*Salvage=*/true).ok());
+  EXPECT_FALSE(Stream.damage().ok());
+  EXPECT_EQ(Stream.damage().code(), StatusCode::Truncated);
+  std::remove(Path.c_str());
+}
+
+TEST(TraceFileV2, SalvageKeepsWholeStreamWhenOnlyChecksumFails) {
+  std::string Path = writeSmallTrace("v2_salvage_crc.gct");
+  std::vector<uint8_t> Bytes = readRaw(Path);
+  Bytes[16 + 2] ^= 0x01;
+  writeRaw(Path, Bytes);
+
+  // Framing is intact, so salvage keeps all records (the flipped address
+  // is indistinguishable from a legitimate one) and reports the mismatch.
+  CountingSink S;
+  ReplayOptions Opts;
+  Opts.Salvage = true;
+  Expected<uint64_t> R = TraceReader::replayEx(Path, S, Opts);
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(*R, 4u);
+
+  TraceStream Stream;
+  ASSERT_TRUE(Stream.open(Path, /*Salvage=*/true).ok());
+  EXPECT_EQ(Stream.damage().code(), StatusCode::Corrupt);
+  std::remove(Path.c_str());
+}
+
+TEST(TraceFileV2, WriterIsAtomicNothingVisibleUntilClose) {
+  std::string Path = tempPath("v2_atomic.gct");
+  std::remove(Path.c_str());
+  TraceWriter W;
+  ASSERT_TRUE(W.open(Path).ok());
+  W.onRef({0x1000, AccessKind::Load, Phase::Mutator});
+
+  // Mid-stream, nothing exists at the final path — only the temporary.
+  FILE *F = fopen(Path.c_str(), "rb");
+  EXPECT_EQ(F, nullptr) << "final path must not appear before close()";
+  if (F)
+    fclose(F);
+  F = fopen((Path + ".tmp").c_str(), "rb");
+  EXPECT_NE(F, nullptr);
+  if (F)
+    fclose(F);
+
+  ASSERT_TRUE(W.close().ok());
+  F = fopen(Path.c_str(), "rb");
+  EXPECT_NE(F, nullptr) << "close() must install the file";
+  if (F)
+    fclose(F);
+  F = fopen((Path + ".tmp").c_str(), "rb");
+  EXPECT_EQ(F, nullptr) << "close() must remove the temporary";
+  if (F)
+    fclose(F);
+
+  CountingSink S;
+  EXPECT_EQ(TraceReader::replay(Path, S), 1);
+  std::remove(Path.c_str());
 }
 
 TEST(TraceFile, EmptyTraceRoundTrips) {
