@@ -18,6 +18,15 @@
 ///   --paranoid   verify the live heap after every collection and at
 ///                every injected allocation failure (counters stay
 ///                bit-identical; see Collector::setParanoid)
+///   --crosscheck[=N] run a shadow oracle cache in lockstep with every
+///                simulated cache, comparing hit classes every N refs
+///                (bare flag = every ref) and deep-comparing contents at
+///                GC boundaries; divergence fails the unit with a
+///                structured report (memsys/OracleCache.h)
+///   --audit      check conservation laws (refs delivered == refs
+///                counted everywhere, per-block sums == global counters,
+///                write-policy laws) at every GC boundary and at end of
+///                run (core/Audit.h)
 ///   --checkpoint-dir D   persist per-unit snapshots into D (crash-safe:
 ///                atomic writes, CRC-validated loads; core/Checkpoint.h)
 ///   --checkpoint-every N checkpoint replay-driven units every N trace
@@ -70,6 +79,8 @@ struct BenchArgs {
   bool Csv = false;
   unsigned Threads = 0;
   bool Paranoid = false;
+  uint64_t CrossCheckEvery = 0; ///< 0 = off; 1 = every ref.
+  bool Audit = false;
   std::string Workload;
   std::string CheckpointDir;
   unsigned CheckpointEvery = 0;
@@ -91,7 +102,8 @@ inline BenchArgs parseBenchArgs(int Argc, char **Argv,
 
   std::vector<std::string> Known = {
       "scale",          "csv",              "workload", "threads",
-      "fault",          "paranoid",         "checkpoint-dir",
+      "fault",          "paranoid",         "crosscheck", "audit",
+      "checkpoint-dir",
       "checkpoint-every", "resume",         "supervise",
       "retries",        "timeout"};
   for (const char *F : ExtraFlags)
@@ -124,6 +136,17 @@ inline BenchArgs parseBenchArgs(int Argc, char **Argv,
   A.Csv = A.Opts.getBool("csv", false);
   A.Paranoid = A.Opts.getBool("paranoid", false);
   A.Workload = A.Opts.get("workload", "");
+
+  // A bare --crosscheck parses as "1" (Options convention): compare every
+  // reference. --crosscheck=N samples the comparison every N refs.
+  Expected<unsigned> CrossCheck = A.Opts.getStrictUnsigned("crosscheck", 0);
+  if (!CrossCheck.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 CrossCheck.status().message().c_str());
+    std::exit(2);
+  }
+  A.CrossCheckEvery = *CrossCheck;
+  A.Audit = A.Opts.getBool("audit", false);
 
   // --fault falls back to GCACHE_FAULT via the Options env convention;
   // empty (unset) disarms.
@@ -187,6 +210,8 @@ inline ExperimentOptions baseExperimentOptions(const BenchArgs &A) {
   Opts.Scale = A.Scale;
   Opts.Threads = A.Threads;
   Opts.Paranoid = A.Paranoid;
+  Opts.CrossCheckEvery = A.CrossCheckEvery;
+  Opts.Audit = A.Audit;
   return Opts;
 }
 

@@ -13,6 +13,7 @@
 #include "BenchCommon.h"
 
 #include "gcache/analysis/LocalMissStats.h"
+#include "gcache/core/Audit.h"
 
 namespace gcache {
 
@@ -43,6 +44,10 @@ inline int localMissFigureMain(int Argc, char **Argv, const char *Id,
   Config.BlockBytes = 64;
   Config.TrackPerBlockStats = true;
   Cache Sim(Config);
+  // This cache rides as an extra sink, outside any bank, so the
+  // validation flags are applied to it directly.
+  if (A.CrossCheckEvery)
+    Sim.enableCrossCheck(A.CrossCheckEvery);
 
   ExperimentOptions Opts = baseExperimentOptions(A);
   Opts.Grid = CacheGridKind::None;
@@ -53,7 +58,18 @@ inline int localMissFigureMain(int Argc, char **Argv, const char *Id,
     return Runner.finish();
   ProgramRun Run = R.take();
 
+  if (A.CrossCheckEvery)
+    if (Status S = Sim.crossCheckNow(); !S.ok()) {
+      Runner.recordFailure(Name + " crosscheck", S);
+      return Runner.finish();
+    }
+
   LocalMissCurves Curves = computeLocalMissCurves(Sim);
+  if (A.Audit)
+    if (Status S = auditLocalMissCurves(Curves, Sim); !S.ok()) {
+      Runner.recordFailure(Name + " audit", S);
+      return Runner.finish();
+    }
   std::printf("%s: %s refs\n\n", Run.Name.c_str(),
               fmtCount(Run.TotalRefs).c_str());
   std::fputs(renderLocalMissTable(Curves, 16).c_str(), stdout);

@@ -46,6 +46,14 @@ int main(int Argc, char **Argv) {
     }
     Cache Single1mb({.SizeBytes = 1 << 20, .BlockBytes = 64});
     Cache Single64kb({.SizeBytes = 64 << 10, .BlockBytes = 32});
+    // These ride as extra sinks, outside any bank, so the validation
+    // flags are applied directly.
+    if (A.CrossCheckEvery) {
+      for (auto &L : Levels)
+        L->enableCrossCheck(A.CrossCheckEvery);
+      Single1mb.enableCrossCheck(A.CrossCheckEvery);
+      Single64kb.enableCrossCheck(A.CrossCheckEvery);
+    }
 
     ExperimentOptions O = baseExperimentOptions(A);
     O.Grid = CacheGridKind::None;
@@ -58,6 +66,24 @@ int main(int Argc, char **Argv) {
     if (!R.ok())
       continue;
     ProgramRun Run = R.take();
+
+    if (A.CrossCheckEvery || A.Audit) {
+      Status V;
+      for (auto &L : Levels) {
+        if (A.CrossCheckEvery && V.ok())
+          V = L->crossCheckNow();
+        if (A.Audit && V.ok())
+          V = L->auditState();
+      }
+      if (A.Audit && V.ok())
+        V = Single1mb.auditState();
+      if (A.Audit && V.ok())
+        V = Single64kb.auditState();
+      if (!V.ok()) {
+        Runner.recordFailure(W->Name + " validation", V);
+        continue;
+      }
+    }
 
     std::vector<std::string> Row = {W->Name};
     for (auto &L : Levels)

@@ -12,6 +12,7 @@
 #include "BenchCommon.h"
 
 #include "gcache/analysis/MissPlot.h"
+#include "gcache/core/Audit.h"
 
 #include <fstream>
 
@@ -32,6 +33,10 @@ int main(int Argc, char **Argv) {
   Config.SizeBytes = 64 << 10;
   Config.BlockBytes = 64;
   MissPlot Plot(Config);
+  // The plot's cache rides as an extra sink, outside any bank, so the
+  // validation flags are applied to it directly.
+  if (A.CrossCheckEvery)
+    Plot.enableCrossCheck(A.CrossCheckEvery);
 
   ExperimentOptions Opts = baseExperimentOptions(A);
   Opts.Grid = CacheGridKind::None;
@@ -41,6 +46,17 @@ int main(int Argc, char **Argv) {
   if (!R.ok())
     return Runner.finish();
   ProgramRun Run = R.take();
+
+  if (A.CrossCheckEvery)
+    if (Status S = Plot.cache().crossCheckNow(); !S.ok()) {
+      Runner.recordFailure(Name + " crosscheck", S);
+      return Runner.finish();
+    }
+  if (A.Audit)
+    if (Status S = auditMissPlot(Plot); !S.ok()) {
+      Runner.recordFailure(Name + " audit", S);
+      return Runner.finish();
+    }
 
   std::printf("%s: %s refs, %llu time columns, fill %.3f\n\n",
               Run.Name.c_str(), fmtCount(Run.TotalRefs).c_str(),

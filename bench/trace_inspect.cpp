@@ -17,7 +17,12 @@
 //
 // With --checkpoint-dir (and optionally --checkpoint-every / --resume), the
 // replay cuts snapshots at GC boundaries and every N records, and resumes
-// from the last snapshot when one exists.
+// from the last snapshot when one exists. --crosscheck/--audit validate the
+// replay with the shadow oracle / conservation auditor.
+//
+// Exit codes: 0 valid (or salvage dropped nothing), 1 damaged or replay
+// failure, 2 usage error, 3 test-kill abort (resumable), 4 salvage
+// truncated data (the summary reports the dropped bytes/records).
 //
 //===----------------------------------------------------------------------===//
 
@@ -73,9 +78,18 @@ int main(int Argc, char **Argv) {
   std::printf("%s: %s, %llu records\n", TracePath.c_str(),
               Stream.damage().ok() ? "valid" : "salvaged prefix",
               static_cast<unsigned long long>(Stream.recordCount()));
-  if (!Stream.damage().ok())
+  bool SalvageTruncated = false;
+  if (!Stream.damage().ok()) {
     std::printf("  damage: %s: %s\n", statusCodeName(Stream.damage().code()),
                 Stream.damage().message().c_str());
+    SalvageTruncated =
+        Stream.droppedBytes() != 0 || Stream.droppedRecords() != 0;
+    std::printf("  salvage dropped %llu bytes, %llu of %llu promised "
+                "records\n",
+                static_cast<unsigned long long>(Stream.droppedBytes()),
+                static_cast<unsigned long long>(Stream.droppedRecords()),
+                static_cast<unsigned long long>(Stream.declaredRecordCount()));
+  }
   std::printf("  refs %llu, allocs %llu (%llu bytes), gc %llu begin / %llu "
               "end\n",
               static_cast<unsigned long long>(Refs),
@@ -85,7 +99,7 @@ int main(int Argc, char **Argv) {
               static_cast<unsigned long long>(GcEnds));
 
   if (!A.Opts.getBool("replay"))
-    return 0;
+    return SalvageTruncated ? 4 : 0;
 
   CacheConfig Cfg;
   Cfg.SizeBytes = static_cast<uint32_t>(
@@ -100,12 +114,15 @@ int main(int Argc, char **Argv) {
 
   CacheBank Bank;
   Bank.addConfig(Cfg);
+  if (A.CrossCheckEvery)
+    Bank.enableCrossCheck(A.CrossCheckEvery);
   if (A.Threads)
     Bank.setThreads(A.Threads);
   CountingSink Counts;
 
   ReplayCheckpointOptions RO;
   RO.Salvage = Salvage;
+  RO.Audit = A.Audit;
   RO.StopAfterRecords = A.Opts.getStrictUnsigned("stop-after", 0).take();
   const CheckpointContext &Ctx = checkpointContext();
   if (Ctx.enabled()) {
@@ -142,5 +159,5 @@ int main(int Argc, char **Argv) {
               static_cast<unsigned long long>(Sum.FetchMisses),
               static_cast<unsigned long long>(Sum.NoFetchMisses),
               static_cast<unsigned long long>(Sum.Writebacks));
-  return 0;
+  return SalvageTruncated ? 4 : 0;
 }

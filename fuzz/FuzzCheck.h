@@ -1,0 +1,27 @@
+//===- FuzzCheck.h - Property assertions for fuzz targets -------*- C++ -*-===//
+//
+// Part of the gcache project (Reinhold, PLDI 1994 reproduction).
+//
+// assert() disappears under NDEBUG, but fuzz properties must hold in
+// every build the fuzzer runs in (CI builds RelWithDebInfo). FUZZ_CHECK
+// prints the failed property and the target location, then aborts so the
+// engine records the crashing input.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef GCACHE_FUZZ_FUZZCHECK_H
+#define GCACHE_FUZZ_FUZZCHECK_H
+
+#include <cstdio>
+#include <cstdlib>
+
+#define FUZZ_CHECK(Cond, Why)                                                  \
+  do {                                                                         \
+    if (!(Cond)) {                                                             \
+      std::fprintf(stderr, "FUZZ_CHECK failed at %s:%d: %s\n  property: %s\n", \
+                   __FILE__, __LINE__, #Cond, Why);                            \
+      std::abort();                                                            \
+    }                                                                          \
+  } while (0)
+
+#endif // GCACHE_FUZZ_FUZZCHECK_H

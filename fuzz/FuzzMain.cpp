@@ -1,0 +1,175 @@
+//===- FuzzMain.cpp - Standalone driver for fuzz targets ----------------------===//
+//
+// Part of the gcache project (Reinhold, PLDI 1994 reproduction).
+//
+// The fuzz targets export the libFuzzer entry point
+// LLVMFuzzerTestOneInput. When the toolchain provides libFuzzer
+// (-fsanitize=fuzzer), the real engine links in and this file is not
+// built. GCC has no libFuzzer, so this fallback driver supplies a main()
+// that replays corpus inputs and then exercises deterministic mutations
+// of them — enough to regression-test every corpus entry and to give CI a
+// meaningful smoke run on any compiler.
+//
+// Usage mirrors the libFuzzer flags the CI job uses:
+//   fuzz_xxx [-runs=N] [-seed=N] [-max_len=N] [-max_total_time=SECS]
+//            corpus-file-or-dir...
+//
+//===----------------------------------------------------------------------===//
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <dirent.h>
+#include <string>
+#include <sys/stat.h>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t *Data, size_t Size);
+
+namespace {
+
+/// xorshift64* — deterministic across platforms, no libc rand() state.
+struct Rng {
+  uint64_t S;
+  explicit Rng(uint64_t Seed) : S(Seed ? Seed : 0x9e3779b97f4a7c15ull) {}
+  uint64_t next() {
+    S ^= S >> 12;
+    S ^= S << 25;
+    S ^= S >> 27;
+    return S * 0x2545f4914f6cdd1dull;
+  }
+  size_t below(size_t N) { return N ? next() % N : 0; }
+};
+
+bool readFile(const std::string &Path, std::vector<uint8_t> &Out) {
+  FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F)
+    return false;
+  Out.clear();
+  uint8_t Buf[1 << 16];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Out.insert(Out.end(), Buf, Buf + N);
+  std::fclose(F);
+  return true;
+}
+
+void collectInputs(const std::string &Path, std::vector<std::string> &Out) {
+  struct stat St;
+  if (stat(Path.c_str(), &St) != 0) {
+    std::fprintf(stderr, "warning: cannot stat '%s'\n", Path.c_str());
+    return;
+  }
+  if (!S_ISDIR(St.st_mode)) {
+    Out.push_back(Path);
+    return;
+  }
+  if (DIR *D = opendir(Path.c_str())) {
+    while (const dirent *E = readdir(D)) {
+      if (E->d_name[0] == '.')
+        continue;
+      collectInputs(Path + "/" + E->d_name, Out);
+    }
+    closedir(D);
+  }
+}
+
+/// One mutation of a corpus entry: bit flips, byte stomps, truncation,
+/// duplication, or splice-with-random-block.
+std::vector<uint8_t> mutate(const std::vector<uint8_t> &Seed, Rng &R,
+                            size_t MaxLen) {
+  std::vector<uint8_t> M = Seed;
+  switch (R.below(5)) {
+  case 0: // flip a few bits
+    for (unsigned I = 0, N = 1 + R.below(8); I != N && !M.empty(); ++I)
+      M[R.below(M.size())] ^= static_cast<uint8_t>(1u << R.below(8));
+    break;
+  case 1: // stomp a run of bytes
+    if (!M.empty()) {
+      size_t At = R.below(M.size());
+      size_t Len = 1 + R.below(16);
+      for (size_t I = At; I < M.size() && I < At + Len; ++I)
+        M[I] = static_cast<uint8_t>(R.next());
+    }
+    break;
+  case 2: // truncate
+    M.resize(R.below(M.size() + 1));
+    break;
+  case 3: // duplicate a tail chunk
+    if (!M.empty()) {
+      size_t At = R.below(M.size());
+      M.insert(M.end(), M.begin() + At, M.end());
+    }
+    break;
+  default: // insert a random block
+    {
+      size_t At = R.below(M.size() + 1);
+      std::vector<uint8_t> Block(1 + R.below(32));
+      for (uint8_t &B : Block)
+        B = static_cast<uint8_t>(R.next());
+      M.insert(M.begin() + At, Block.begin(), Block.end());
+    }
+    break;
+  }
+  if (M.size() > MaxLen)
+    M.resize(MaxLen);
+  return M;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  uint64_t Runs = 1000, Seed = 1, MaxLen = 1 << 20, MaxSeconds = 0;
+  std::vector<std::string> Inputs;
+  for (int I = 1; I < Argc; ++I) {
+    const char *A = Argv[I];
+    if (std::strncmp(A, "-runs=", 6) == 0)
+      Runs = std::strtoull(A + 6, nullptr, 10);
+    else if (std::strncmp(A, "-seed=", 6) == 0)
+      Seed = std::strtoull(A + 6, nullptr, 10);
+    else if (std::strncmp(A, "-max_len=", 9) == 0)
+      MaxLen = std::strtoull(A + 9, nullptr, 10);
+    else if (std::strncmp(A, "-max_total_time=", 16) == 0)
+      MaxSeconds = std::strtoull(A + 16, nullptr, 10);
+    else if (A[0] == '-')
+      std::fprintf(stderr, "warning: ignoring unknown flag '%s'\n", A);
+    else
+      collectInputs(A, Inputs);
+  }
+
+  std::vector<std::vector<uint8_t>> Corpus;
+  for (const std::string &Path : Inputs) {
+    std::vector<uint8_t> Bytes;
+    if (readFile(Path, Bytes))
+      Corpus.push_back(std::move(Bytes));
+    else
+      std::fprintf(stderr, "warning: cannot read '%s'\n", Path.c_str());
+  }
+  if (Corpus.empty())
+    Corpus.push_back({}); // still exercise the empty input
+
+  // Every corpus entry verbatim first — the regression-test half.
+  uint64_t Executed = 0;
+  for (const auto &C : Corpus) {
+    LLVMFuzzerTestOneInput(C.data(), C.size());
+    ++Executed;
+  }
+
+  // Then deterministic mutations until the run or time budget is spent.
+  Rng R(Seed);
+  std::time_t Start = std::time(nullptr);
+  for (uint64_t I = 0; I != Runs; ++I) {
+    if (MaxSeconds && std::time(nullptr) - Start >= (std::time_t)MaxSeconds)
+      break;
+    std::vector<uint8_t> M = mutate(Corpus[R.below(Corpus.size())], R, MaxLen);
+    LLVMFuzzerTestOneInput(M.data(), M.size());
+    ++Executed;
+  }
+
+  std::printf("%s: executed %llu inputs (%zu corpus seeds), no failures\n",
+              Argv[0], static_cast<unsigned long long>(Executed),
+              Corpus.size());
+  return 0;
+}

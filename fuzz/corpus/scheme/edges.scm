@@ -1,0 +1,12 @@
+; Syntax corner cases the reader must take in stride.
+()
+(()) ; empty lists nest
+[define bracketed 1] ; square brackets
+(a . b)
+(a b . (c d)) ; dotted tail that is itself a list
+((((((((deep))))))))
+'(quote (quote x))
+1+ ->x - +  ; symbols that look almost numeric
+.5 -0.25 1e9 ; reals without integer part, negative, exponent
+"" ; empty string
+#\s ; single-letter char that prefixes no named char

@@ -1,0 +1,75 @@
+//===- fuzz_scheme.cpp - Fuzz target: Scheme reader and compiler --------------===//
+//
+// Part of the gcache project (Reinhold, PLDI 1994 reproduction).
+//
+// Property under test: the S-expression reader and the bytecode compiler
+// must either reject arbitrary source text with a structured error
+// (ReadResult::Error / StatusError(CompileError)) or process it — never
+// crash, overflow the stack on deep nesting, or hang. Fuzzed programs
+// are compiled but not executed: the VM has no step budget, so running
+// attacker-chosen code could legitimately loop forever.
+//
+//===----------------------------------------------------------------------===//
+
+#include "FuzzCheck.h"
+
+#include "gcache/heap/Heap.h"
+#include "gcache/support/Status.h"
+#include "gcache/vm/Compiler.h"
+#include "gcache/vm/Primitives.h"
+#include "gcache/vm/Sexpr.h"
+#include "gcache/vm/VM.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+using namespace gcache;
+
+namespace {
+
+/// Compiled code objects accumulate in the VM, so the world is rebuilt
+/// periodically to keep a long fuzz run's memory flat.
+struct World {
+  Heap H;
+  VM M{H};
+  World() { registerPrimitives(M); }
+};
+
+} // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t *Data, size_t Size) {
+  static std::unique_ptr<World> W;
+  static unsigned InputsSinceReset = 0;
+  if (!W || ++InputsSinceReset >= 256) {
+    W = std::make_unique<World>();
+    InputsSinceReset = 0;
+  }
+
+  // Cap the source length: reader and compiler are linear, but there is
+  // no value in megabyte-scale mutations of small seeds.
+  if (Size > (64u << 10))
+    Size = 64u << 10;
+  std::string Source(reinterpret_cast<const char *>(Data), Size);
+
+  ReadResult R = readAll(Source);
+  if (!R.Ok) {
+    FUZZ_CHECK(!R.Error.empty(), "a rejected read must carry a message");
+    return 0;
+  }
+
+  for (const Sexpr &Form : R.Data) {
+    try {
+      Compiler C(W->M);
+      (void)C.compileToplevel(Form);
+    } catch (const StatusError &E) {
+      FUZZ_CHECK(!E.status().ok(),
+                 "a compile rejection must carry a failed Status");
+      // The compiler may leave the VM mid-definition; start clean.
+      W = std::make_unique<World>();
+      InputsSinceReset = 0;
+      break;
+    }
+  }
+  return 0;
+}

@@ -34,6 +34,13 @@ public:
 
   const Cache &cache() const { return Sim; }
   uint64_t columns() const { return Columns.size(); }
+  uint64_t refsSeen() const { return RefsSeen; }
+  uint32_t refsPerColumn() const { return RefsPerColumn; }
+
+  /// Attaches a shadow oracle to the owned cache (--crosscheck).
+  void enableCrossCheck(uint64_t CompareEvery = 1) {
+    Sim.enableCrossCheck(CompareEvery);
+  }
 
   /// Whether any miss hit (column, cache block).
   bool missedAt(uint64_t Column, uint32_t Block) const;

@@ -2,6 +2,7 @@
 
 #include "gcache/core/Checkpoint.h"
 
+#include "gcache/core/Audit.h"
 #include "gcache/support/FaultInjector.h"
 #include "gcache/support/Snapshot.h"
 #include "gcache/trace/TraceFile.h"
@@ -118,6 +119,7 @@ gcache::replayTraceCheckpointed(const std::string &TracePath, CacheBank &Bank,
   if (Status S = Stream.open(TracePath, Opts.Salvage); !S.ok())
     return S;
 
+  AuditSink Auditor(&Bank, &Counts);
   ReplayCheckpointResult Result;
   if (Opts.Resume && !Opts.SnapshotPath.empty() &&
       fileExists(Opts.SnapshotPath)) {
@@ -150,35 +152,56 @@ gcache::replayTraceCheckpointed(const std::string &TracePath, CacheBank &Bank,
     if (Status S = Stream.seekTo(RecIdx, ByteOff); !S.ok())
       return S;
     Result.Resumed = true;
+    if (Opts.Audit) {
+      // The restored state must audit clean before a single new record is
+      // dispatched: a checkpoint whose CRC is intact but whose counters
+      // disagree with each other would otherwise poison the continuation.
+      Auditor.adoptBaseline();
+      if (Status S = Auditor.finalCheck("resume-restore"); !S.ok())
+        return S;
+    }
   }
   Result.StartRecord = Stream.recordIndex();
 
   TraceRecord Rec;
   uint64_t SinceCheckpoint = 0;
-  while (Stream.next(Rec)) {
-    Rec.dispatch(Counts);
-    Rec.dispatch(Bank);
-    ++Result.RecordsReplayed;
-    ++SinceCheckpoint;
-    if (Opts.StopAfterRecords &&
-        Result.RecordsReplayed >= Opts.StopAfterRecords)
-      return Status::failf(
-          StatusCode::Aborted, "replay stopped after %llu records (test kill)",
-          static_cast<unsigned long long>(Result.RecordsReplayed));
-    // Checkpoint at every GC boundary and every EveryRefs records. Any
-    // record boundary is a safe point: dispatch is deterministic and
-    // saveTo drains the shard workers first.
-    bool AtGcEnd = Rec.Op == TraceRecord::Kind::GcEnd;
-    bool Periodic = Opts.EveryRefs && SinceCheckpoint >= Opts.EveryRefs;
-    if (!Opts.SnapshotPath.empty() && (AtGcEnd || Periodic)) {
-      if (Status S = cutReplayCheckpoint(Opts.SnapshotPath, Stream, Bank,
-                                         Counts);
-          !S.ok())
-        return S;
-      SinceCheckpoint = 0;
+  try {
+    while (Stream.next(Rec)) {
+      Rec.dispatch(Counts);
+      Rec.dispatch(Bank);
+      if (Opts.Audit)
+        Rec.dispatch(Auditor);
+      ++Result.RecordsReplayed;
+      ++SinceCheckpoint;
+      if (Opts.StopAfterRecords &&
+          Result.RecordsReplayed >= Opts.StopAfterRecords)
+        return Status::failf(
+            StatusCode::Aborted,
+            "replay stopped after %llu records (test kill)",
+            static_cast<unsigned long long>(Result.RecordsReplayed));
+      // Checkpoint at every GC boundary and every EveryRefs records. Any
+      // record boundary is a safe point: dispatch is deterministic and
+      // saveTo drains the shard workers first.
+      bool AtGcEnd = Rec.Op == TraceRecord::Kind::GcEnd;
+      bool Periodic = Opts.EveryRefs && SinceCheckpoint >= Opts.EveryRefs;
+      if (!Opts.SnapshotPath.empty() && (AtGcEnd || Periodic)) {
+        if (Status S = cutReplayCheckpoint(Opts.SnapshotPath, Stream, Bank,
+                                           Counts);
+            !S.ok())
+          return S;
+        SinceCheckpoint = 0;
+      }
     }
+    Bank.flush();
+  } catch (const StatusError &E) {
+    // Divergence/audit failures and rethrown shard-worker exceptions
+    // surface through this function's Expected like every other replay
+    // error.
+    return E.status();
   }
-  Bank.flush();
+  if (Opts.Audit)
+    if (Status S = Auditor.finalCheck(); !S.ok())
+      return S;
   return Result;
 }
 

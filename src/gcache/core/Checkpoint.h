@@ -69,6 +69,11 @@ struct ReplayCheckpointOptions {
                             ///< at GC boundaries).
   bool Resume = false;      ///< Resume from SnapshotPath if it exists.
   bool Salvage = false;     ///< Replay a damaged trace's valid prefix.
+  /// Run the conservation-law auditor (core/Audit.h) over the replay: at
+  /// every GC boundary, at end of replay, and — on resume — immediately
+  /// after the restored state is loaded, so a corrupted-but-CRC-valid
+  /// checkpoint cannot poison the continuation.
+  bool Audit = false;
   /// Test hook simulating a kill: abort (StatusCode::Aborted) after this
   /// many records have been dispatched in this process (0 = never).
   uint64_t StopAfterRecords = 0;

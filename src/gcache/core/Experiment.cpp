@@ -2,6 +2,7 @@
 
 #include "gcache/core/Experiment.h"
 
+#include "gcache/core/Audit.h"
 #include "gcache/trace/Sinks.h"
 
 #include <algorithm>
@@ -44,6 +45,10 @@ ProgramRun gcache::runProgram(const Workload &W,
     else if (Opts.Grid == CacheGridKind::SizeSweep)
       Bank->addSizeSweep(Opposite, Opts.SweepBlockBytes);
   }
+  // Cross-checking attaches per-cache shadow oracles, which must happen
+  // before the shard workers take ownership of the caches.
+  if (Opts.CrossCheckEvery)
+    Bank->enableCrossCheck(Opts.CrossCheckEvery);
   Bank->setThreads(Opts.Threads);
 
   CountingSink Counts;
@@ -53,6 +58,11 @@ ProgramRun gcache::runProgram(const Workload &W,
     Bus.addSink(Bank.get());
   for (TraceSink *S : Opts.ExtraSinks)
     Bus.addSink(S);
+  // The auditor rides last so GC boundaries reach it after the bank has
+  // flushed (bus order is delivery order).
+  AuditSink Auditor(Bank->size() ? Bank.get() : nullptr, &Counts);
+  if (Opts.Audit)
+    Bus.addSink(&Auditor);
 
   SchemeSystemConfig SysConfig;
   SysConfig.Gc = Opts.Gc;
@@ -72,6 +82,13 @@ ProgramRun gcache::runProgram(const Workload &W,
   // callers can read counters (and keep feeding it) without further
   // synchronization.
   Bank->setThreads(0);
+
+  if (Opts.Audit)
+    if (Status S = Auditor.finalCheck(); !S.ok())
+      throw StatusError(std::move(S));
+  if (Opts.CrossCheckEvery)
+    if (Status S = Bank->crossCheckNow(); !S.ok())
+      throw StatusError(std::move(S));
 
   Run.Stats = Sys.lastRunStats();
   Run.TotalRefs = Counts.totalRefs();

@@ -69,6 +69,16 @@ struct ExperimentOptions {
   /// allocation failure (verification is peek-only, so all simulated
   /// counters stay bit-identical); see SchemeSystemConfig::Paranoid.
   bool Paranoid = false;
+  /// Nonzero enables --crosscheck: every cache runs a shadow OracleCache
+  /// in lockstep, comparing hit classes every N references (1 = every
+  /// reference) and deep-comparing contents at GC boundaries and end of
+  /// run. Divergence raises StatusError(Divergence). The simulated
+  /// counters are unaffected — the oracle only watches.
+  uint64_t CrossCheckEvery = 0;
+  /// --audit: run the conservation-law auditor (core/Audit.h) at every GC
+  /// boundary and at end of run; violations raise
+  /// StatusError(AuditFailure).
+  bool Audit = false;
 
   /// Effective semispace size after scaling.
   uint32_t effectiveSemispace() const;

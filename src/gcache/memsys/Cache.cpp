@@ -2,12 +2,19 @@
 
 #include "gcache/memsys/Cache.h"
 
+#include "gcache/memsys/OracleCache.h"
 #include "gcache/support/Snapshot.h"
 
+#include <algorithm>
 #include <bit>
 #include <cassert>
+#include <cstdio>
 
 using namespace gcache;
+
+Cache::Cache(Cache &&) noexcept = default;
+Cache &Cache::operator=(Cache &&) noexcept = default;
+Cache::~Cache() = default;
 
 Cache::Cache(const CacheConfig &Config) : Config(Config) {
   assert(Config.isValid() && "invalid cache geometry");
@@ -34,6 +41,8 @@ void Cache::reset() {
     BlockMisses.assign(Config.numSets(), 0);
     BlockFetchMisses.assign(Config.numSets(), 0);
   }
+  if (Shadow)
+    Shadow->reset();
 }
 
 void Cache::noteBlockStats(uint32_t SetIdx, bool Miss, bool FetchMiss) {
@@ -47,6 +56,19 @@ void Cache::noteBlockStats(uint32_t SetIdx, bool Miss, bool FetchMiss) {
 }
 
 AccessResult Cache::access(const Ref &R) {
+  AccessResult Got = simulate(R);
+  if (Shadow) {
+    // The oracle must see every reference to stay coherent; CompareEvery
+    // only thins how often the two verdicts are compared.
+    AccessResult Want = Shadow->access(R);
+    ++ShadowRefs;
+    if ((CompareEvery <= 1 || ShadowRefs % CompareEvery == 0) && Want != Got)
+      reportDivergence(R, Want, Got);
+  }
+  return Got;
+}
+
+AccessResult Cache::simulate(const Ref &R) {
   CacheCounters &C = Counts[static_cast<unsigned>(R.ExecPhase)];
   bool IsStore = R.Kind == AccessKind::Store;
   if (IsStore)
@@ -157,8 +179,15 @@ static void loadCounters(SnapshotCursor &C, CacheCounters &Out) {
   Out.WriteThroughs = C.getU64();
 }
 
+/// Version sentinel leading every cache-state image. Version 1 (no
+/// sentinel; the stream began directly with SizeBytes, always a power of
+/// two, so the sentinel can never be mistaken for old data) stored the LRU
+/// clock and stamps as u32; version 2 widened them to u64.
+static constexpr uint32_t CacheStateVersion2 = 0x65766132; // "2av e"
+
 void Cache::saveState(SnapshotWriter &W) const {
-  // Geometry first, so a resumed run can prove the snapshot belongs to the
+  W.putU32(CacheStateVersion2);
+  // Geometry next, so a resumed run can prove the snapshot belongs to the
   // same simulated cache before interpreting a single line.
   W.putU32(Config.SizeBytes);
   W.putU32(Config.BlockBytes);
@@ -168,13 +197,13 @@ void Cache::saveState(SnapshotWriter &W) const {
   W.putU8(Config.CollectorFetchOnWrite ? 1 : 0);
   W.putU8(Config.TrackPerBlockStats ? 1 : 0);
 
-  W.putU32(LruClock);
+  W.putU64(LruClock);
   W.putU64(Lines.size());
   for (const Line &L : Lines) {
     W.putU32(L.Tag);
     W.putU64(L.ValidMask);
     W.putU8(L.Dirty ? 1 : 0);
-    W.putU32(L.LruStamp);
+    W.putU64(L.LruStamp);
   }
   saveCounters(W, Counts[0]);
   saveCounters(W, Counts[1]);
@@ -184,6 +213,18 @@ void Cache::saveState(SnapshotWriter &W) const {
 }
 
 void Cache::loadState(SnapshotCursor &C) {
+  uint32_t StateVersion = C.getU32();
+  if (C.ok() && StateVersion != CacheStateVersion2) {
+    // A version-1 image starts with SizeBytes, a power of two; either way
+    // the stream is not something this reader can interpret, and migrating
+    // a 32-bit LRU history would fabricate recency the run never had.
+    C.fail(Status::failf(StatusCode::Corrupt,
+                         "cache snapshot has unsupported state version "
+                         "0x%08x (expected 0x%08x; pre-v2 checkpoints must "
+                         "be recomputed)",
+                         StateVersion, CacheStateVersion2));
+    return;
+  }
   uint32_t SizeBytes = C.getU32();
   uint32_t BlockBytes = C.getU32();
   uint32_t Ways = C.getU32();
@@ -208,7 +249,7 @@ void Cache::loadState(SnapshotCursor &C) {
     return;
   }
 
-  uint32_t Clock = C.getU32();
+  uint64_t Clock = C.getU64();
   uint64_t NumLines = C.getU64();
   if (C.ok() && NumLines != Lines.size()) {
     C.fail(Status::failf(StatusCode::Corrupt,
@@ -222,7 +263,7 @@ void Cache::loadState(SnapshotCursor &C) {
     L.Tag = C.getU32();
     L.ValidMask = C.getU64();
     L.Dirty = C.getU8() != 0;
-    L.LruStamp = C.getU32();
+    L.LruStamp = C.getU64();
   }
   CacheCounters NewCounts[2];
   loadCounters(C, NewCounts[0]);
@@ -250,4 +291,266 @@ void Cache::loadState(SnapshotCursor &C) {
   BlockRefs = std::move(Refs);
   BlockMisses = std::move(Misses);
   BlockFetchMisses = std::move(FetchMisses);
+
+  // Well-framed bytes are not necessarily a state this cache could ever
+  // have been in (duplicate tags, stamps ahead of the clock, valid bits
+  // outside the block). Audit before trusting it; per the restore
+  // contract, a failed load leaves the state unspecified and the caller
+  // discards the cache.
+  if (Status A = auditState(); !A.ok()) {
+    C.fail(std::move(A));
+    return;
+  }
+  if (Shadow)
+    resyncShadow();
+}
+
+//===----------------------------------------------------------------------===//
+// Self-validation: shadow oracle and state audit
+//===----------------------------------------------------------------------===//
+
+void Cache::enableCrossCheck(uint64_t Every) {
+  Shadow = std::make_unique<OracleCache>(Config);
+  CompareEvery = Every ? Every : 1;
+  ShadowRefs = 0;
+  resyncShadow();
+}
+
+void Cache::resyncShadow() {
+  for (uint32_t SetIdx = 0; SetIdx != Config.numSets(); ++SetIdx) {
+    const Line *Set = setBase(SetIdx);
+    std::vector<const Line *> Resident;
+    for (uint32_t W = 0; W != Config.Ways; ++W)
+      if (Set[W].ValidMask != 0)
+        Resident.push_back(&Set[W]);
+    std::sort(Resident.begin(), Resident.end(),
+              [](const Line *A, const Line *B) {
+                return A->LruStamp < B->LruStamp;
+              });
+    std::vector<OracleCache::LineState> States;
+    States.reserve(Resident.size());
+    for (const Line *L : Resident)
+      States.push_back({L->Tag, L->ValidMask, L->Dirty});
+    Shadow->restoreSet(SetIdx, std::move(States));
+  }
+  Shadow->setCounters(Phase::Mutator, Counts[0]);
+  Shadow->setCounters(Phase::Collector, Counts[1]);
+}
+
+std::string Cache::dumpSet(uint32_t SetIdx) const {
+  std::string Out;
+  char Buf[112];
+  std::snprintf(Buf, sizeof(Buf), "set %u (%u ways):", SetIdx, Config.Ways);
+  Out += Buf;
+  const Line *Set = setBase(SetIdx);
+  for (uint32_t W = 0; W != Config.Ways; ++W) {
+    const Line &L = Set[W];
+    if (L.ValidMask == 0) {
+      std::snprintf(Buf, sizeof(Buf), " [way%u empty]", W);
+    } else {
+      std::snprintf(Buf, sizeof(Buf),
+                    " [way%u tag 0x%x valid 0x%llx%s stamp %llu]", W, L.Tag,
+                    static_cast<unsigned long long>(L.ValidMask),
+                    L.Dirty ? " dirty" : "",
+                    static_cast<unsigned long long>(L.LruStamp));
+    }
+    Out += Buf;
+  }
+  return Out;
+}
+
+void Cache::reportDivergence(const Ref &R, AccessResult Want,
+                             AccessResult Got) const {
+  uint32_t SetIdx = setIndexOf(R.Addr);
+  throwStatus(StatusCode::Divergence,
+              "%s: ref %llu (%s %s of 0x%x): oracle says %s, cache says %s\n"
+              "  cache:  %s\n  oracle: %s",
+              Config.label().c_str(),
+              static_cast<unsigned long long>(ShadowRefs + 1),
+              R.ExecPhase == Phase::Mutator ? "mutator" : "collector",
+              R.Kind == AccessKind::Load ? "load" : "store", R.Addr,
+              accessResultName(Want), accessResultName(Got),
+              dumpSet(SetIdx).c_str(), Shadow->dumpSet(SetIdx).c_str());
+}
+
+Status Cache::crossCheckNow() const {
+  if (!Shadow)
+    return Status();
+  // Counters first: a divergence in the totals is the report the paper's
+  // figures would have inherited.
+  for (unsigned P = 0; P != 2; ++P) {
+    const CacheCounters &A = Counts[P];
+    const CacheCounters &B = Shadow->counters(static_cast<Phase>(P));
+    const char *Name = P ? "collector" : "mutator";
+    struct {
+      const char *Field;
+      uint64_t Got, Want;
+    } Fields[] = {
+        {"loads", A.Loads, B.Loads},
+        {"stores", A.Stores, B.Stores},
+        {"fetch-misses", A.FetchMisses, B.FetchMisses},
+        {"no-fetch-misses", A.NoFetchMisses, B.NoFetchMisses},
+        {"writebacks", A.Writebacks, B.Writebacks},
+        {"write-throughs", A.WriteThroughs, B.WriteThroughs},
+    };
+    for (const auto &F : Fields)
+      if (F.Got != F.Want)
+        return Status::failf(
+            StatusCode::Divergence,
+            "%s: %s %s: cache %llu, oracle %llu (after %llu refs)",
+            Config.label().c_str(), Name, F.Field,
+            static_cast<unsigned long long>(F.Got),
+            static_cast<unsigned long long>(F.Want),
+            static_cast<unsigned long long>(ShadowRefs));
+  }
+  // Then the contents: each set must hold the same lines in the same
+  // recency order (which physical way a line occupies is unobservable).
+  for (uint32_t SetIdx = 0; SetIdx != Config.numSets(); ++SetIdx) {
+    const Line *Set = setBase(SetIdx);
+    std::vector<const Line *> Resident;
+    for (uint32_t W = 0; W != Config.Ways; ++W)
+      if (Set[W].ValidMask != 0)
+        Resident.push_back(&Set[W]);
+    std::sort(Resident.begin(), Resident.end(),
+              [](const Line *A, const Line *B) {
+                return A->LruStamp < B->LruStamp;
+              });
+    const std::vector<OracleCache::LineState> &Want = Shadow->set(SetIdx);
+    bool Match = Resident.size() == Want.size();
+    for (size_t I = 0; Match && I != Want.size(); ++I)
+      Match = Want[I] == OracleCache::LineState{Resident[I]->Tag,
+                                                Resident[I]->ValidMask,
+                                                Resident[I]->Dirty};
+    if (!Match)
+      return Status::failf(StatusCode::Divergence,
+                           "%s: set contents diverge after %llu refs\n"
+                           "  cache:  %s\n  oracle: %s",
+                           Config.label().c_str(),
+                           static_cast<unsigned long long>(ShadowRefs),
+                           dumpSet(SetIdx).c_str(),
+                           Shadow->dumpSet(SetIdx).c_str());
+  }
+  return Status();
+}
+
+Status Cache::auditState() const {
+  const std::string Label = Config.label();
+  // Line-level invariants.
+  for (uint32_t SetIdx = 0; SetIdx != Config.numSets(); ++SetIdx) {
+    const Line *Set = setBase(SetIdx);
+    for (uint32_t W = 0; W != Config.Ways; ++W) {
+      const Line &L = Set[W];
+      if (L.ValidMask == 0)
+        continue;
+      if (L.ValidMask & ~FullMask)
+        return Status::failf(StatusCode::AuditFailure,
+                            "%s: set %u way %u valid mask 0x%llx exceeds the "
+                            "block's %u words",
+                            Label.c_str(), SetIdx, W,
+                            static_cast<unsigned long long>(L.ValidMask),
+                            Config.wordsPerBlock());
+      if (L.LruStamp > LruClock)
+        return Status::failf(StatusCode::AuditFailure,
+                            "%s: set %u way %u LRU stamp %llu exceeds the "
+                            "clock %llu",
+                            Label.c_str(), SetIdx, W,
+                            static_cast<unsigned long long>(L.LruStamp),
+                            static_cast<unsigned long long>(LruClock));
+      for (uint32_t V = W + 1; V != Config.Ways; ++V) {
+        const Line &M = Set[V];
+        if (M.ValidMask == 0)
+          continue;
+        if (M.Tag == L.Tag)
+          return Status::failf(StatusCode::AuditFailure,
+                              "%s: set %u holds tag 0x%x twice (ways %u, %u)",
+                              Label.c_str(), SetIdx, L.Tag, W, V);
+        if (M.LruStamp == L.LruStamp)
+          return Status::failf(
+              StatusCode::AuditFailure,
+              "%s: set %u ways %u and %u share LRU stamp %llu",
+              Label.c_str(), SetIdx, W, V,
+              static_cast<unsigned long long>(L.LruStamp));
+      }
+    }
+  }
+  // Counter conservation laws, per phase and in total.
+  for (unsigned P = 0; P != 2; ++P) {
+    const CacheCounters &C = Counts[P];
+    const char *Name = P ? "collector" : "mutator";
+    if (C.allMisses() > C.refs())
+      return Status::failf(StatusCode::AuditFailure,
+                          "%s: %s misses (%llu) exceed refs (%llu)",
+                          Label.c_str(), Name,
+                          static_cast<unsigned long long>(C.allMisses()),
+                          static_cast<unsigned long long>(C.refs()));
+    if (Config.WriteHit == WriteHitPolicy::WriteThrough) {
+      if (C.Writebacks != 0)
+        return Status::failf(StatusCode::AuditFailure,
+                            "%s: write-through cache recorded %llu %s "
+                            "writebacks",
+                            Label.c_str(),
+                            static_cast<unsigned long long>(C.Writebacks),
+                            Name);
+      if (C.WriteThroughs != C.Stores)
+        return Status::failf(StatusCode::AuditFailure,
+                            "%s: %s write-throughs (%llu) != stores (%llu)",
+                            Label.c_str(), Name,
+                            static_cast<unsigned long long>(C.WriteThroughs),
+                            static_cast<unsigned long long>(C.Stores));
+    } else if (C.WriteThroughs != 0) {
+      return Status::failf(StatusCode::AuditFailure,
+                          "%s: write-back cache recorded %llu %s "
+                          "write-throughs",
+                          Label.c_str(),
+                          static_cast<unsigned long long>(C.WriteThroughs),
+                          Name);
+    }
+  }
+  if (Config.WriteMiss == WriteMissPolicy::FetchOnWrite &&
+      totalCounters().NoFetchMisses != 0)
+    return Status::failf(StatusCode::AuditFailure,
+                        "%s: fetch-on-write cache recorded %llu no-fetch "
+                        "misses",
+                        Label.c_str(),
+                        static_cast<unsigned long long>(
+                            totalCounters().NoFetchMisses));
+  if (Config.CollectorFetchOnWrite &&
+      Counts[static_cast<unsigned>(Phase::Collector)].NoFetchMisses != 0)
+    return Status::failf(StatusCode::AuditFailure,
+                        "%s: collector writes fetch-on-write, yet %llu "
+                        "collector no-fetch misses were recorded",
+                        Label.c_str(),
+                        static_cast<unsigned long long>(
+                            Counts[1].NoFetchMisses));
+  // Per-block statistics are a second, independently-maintained witness of
+  // the same events; their sums must reproduce the global counters.
+  if (Config.TrackPerBlockStats) {
+    uint64_t SumRefs = 0, SumMisses = 0, SumFetch = 0;
+    for (uint64_t V : BlockRefs)
+      SumRefs += V;
+    for (uint64_t V : BlockMisses)
+      SumMisses += V;
+    for (uint64_t V : BlockFetchMisses)
+      SumFetch += V;
+    CacheCounters T = totalCounters();
+    if (SumRefs != T.refs())
+      return Status::failf(StatusCode::AuditFailure,
+                          "%s: per-block refs sum to %llu, counters say %llu",
+                          Label.c_str(),
+                          static_cast<unsigned long long>(SumRefs),
+                          static_cast<unsigned long long>(T.refs()));
+    if (SumMisses != T.allMisses())
+      return Status::failf(
+          StatusCode::AuditFailure,
+          "%s: per-block misses sum to %llu, counters say %llu",
+          Label.c_str(), static_cast<unsigned long long>(SumMisses),
+          static_cast<unsigned long long>(T.allMisses()));
+    if (SumFetch != T.FetchMisses)
+      return Status::failf(
+          StatusCode::AuditFailure,
+          "%s: per-block fetch misses sum to %llu, counters say %llu",
+          Label.c_str(), static_cast<unsigned long long>(SumFetch),
+          static_cast<unsigned long long>(T.FetchMisses));
+  }
+  return Status();
 }

@@ -26,12 +26,15 @@
 #define GCACHE_MEMSYS_CACHE_H
 
 #include "gcache/memsys/CacheConfig.h"
+#include "gcache/support/Status.h"
 #include "gcache/trace/Event.h"
 
+#include <memory>
 #include <vector>
 
 namespace gcache {
 
+class OracleCache;
 class SnapshotWriter;
 class SnapshotCursor;
 
@@ -73,7 +76,18 @@ public:
 
   const CacheConfig &config() const { return Config; }
 
-  /// Simulates one reference and returns its outcome.
+  // Out-of-line (Cache.cpp) so the forward-declared OracleCache member is
+  // complete where these are instantiated. Moves only; the shadow oracle
+  // makes copying ambiguous (which model owns the comparison history?).
+  Cache(Cache &&) noexcept;
+  Cache &operator=(Cache &&) noexcept;
+  ~Cache() override;
+
+  /// Simulates one reference and returns its outcome. With a shadow oracle
+  /// attached (enableCrossCheck), the reference is also simulated by the
+  /// oracle and a hit-class disagreement raises StatusError(Divergence)
+  /// with a structured report (ref index, address, expected vs. actual
+  /// class, both models' set state).
   AccessResult access(const Ref &R);
 
   /// TraceSink entry point: simulate and discard the outcome.
@@ -110,30 +124,73 @@ public:
   void saveState(SnapshotWriter &W) const;
   /// Restores the state written by saveState. Validates that the stored
   /// geometry matches this cache's configuration before touching anything;
-  /// mismatches and decode failures latch in \p C.
+  /// mismatches and decode failures latch in \p C. With a shadow oracle
+  /// attached, the oracle is resynchronized to the restored state, so a
+  /// resumed --crosscheck run stays in lockstep.
   void loadState(SnapshotCursor &C);
 
+  //===--- Self-validation (--crosscheck / --audit) ----------------------===//
+
+  /// Attaches a shadow OracleCache (memsys/OracleCache.h) that re-simulates
+  /// every reference independently. Hit classes are compared every
+  /// \p CompareEvery references (1 = every reference; sampling only thins
+  /// the comparisons — the oracle itself must see every reference to stay
+  /// coherent). The shadow is synchronized to the current contents, so it
+  /// may be attached to a warm cache.
+  void enableCrossCheck(uint64_t CompareEvery = 1);
+  bool crossCheckEnabled() const { return Shadow != nullptr; }
+
+  /// Deep comparison against the shadow: full set-by-set contents in LRU
+  /// order plus every counter of both phases. Called at flush points and
+  /// GC boundaries (CacheBank::flush) and at end of run. Ok when no shadow
+  /// is attached.
+  Status crossCheckNow() const;
+
+  /// Internal-consistency audit: LRU stamps unique and bounded by the
+  /// clock, valid masks within the block's words, per-block statistics
+  /// summing to the global counters, and the write-policy conservation
+  /// laws (write-through stores all written through, write-validate
+  /// no-fetch misses only where the policy allows them). Returns
+  /// AuditFailure describing the first violated law.
+  Status auditState() const;
+
 private:
+  friend class CacheTestPeer; ///< Mutation tests corrupt state on purpose.
+
   struct Line {
     uint32_t Tag = 0;
     uint64_t ValidMask = 0; ///< Bit per word; 0 means the line is empty.
     bool Dirty = false;
-    uint32_t LruStamp = 0;
+    /// 64-bit so long sweeps can never wrap the recency order (a 32-bit
+    /// stamp wraps after 2^32 references and corrupts LRU in associative
+    /// configurations).
+    uint64_t LruStamp = 0;
   };
 
+  AccessResult simulate(const Ref &R);
   Line *setBase(uint32_t SetIdx) { return &Lines[SetIdx * Config.Ways]; }
+  const Line *setBase(uint32_t SetIdx) const {
+    return &Lines[SetIdx * Config.Ways];
+  }
   void noteBlockStats(uint32_t SetIdx, bool Miss, bool FetchMiss);
+  void resyncShadow();
+  [[noreturn]] void reportDivergence(const Ref &R, AccessResult Want,
+                                     AccessResult Got) const;
+  std::string dumpSet(uint32_t SetIdx) const;
 
   CacheConfig Config;
   uint32_t SetMask;
   uint32_t BlockShift;
   uint64_t FullMask;
-  uint32_t LruClock = 0;
+  uint64_t LruClock = 0;
   std::vector<Line> Lines;
   CacheCounters Counts[2];
   std::vector<uint64_t> BlockRefs;
   std::vector<uint64_t> BlockMisses;
   std::vector<uint64_t> BlockFetchMisses;
+  std::unique_ptr<OracleCache> Shadow; ///< Null unless cross-checking.
+  uint64_t CompareEvery = 1;
+  uint64_t ShadowRefs = 0; ///< References seen since the shadow attached.
 };
 
 } // namespace gcache

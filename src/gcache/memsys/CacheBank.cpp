@@ -20,7 +20,31 @@ CacheBank::~CacheBank() {
 size_t CacheBank::addConfig(const CacheConfig &Config) {
   assert(!Pool && "add all configs before setThreads()");
   Caches.push_back(std::make_unique<Cache>(Config));
+  if (CrossCheckEvery)
+    Caches.back()->enableCrossCheck(CrossCheckEvery);
   return Caches.size() - 1;
+}
+
+void CacheBank::enableCrossCheck(uint64_t CompareEvery) {
+  assert(!Pool && "enable cross-checking before setThreads()");
+  CrossCheckEvery = CompareEvery ? CompareEvery : 1;
+  for (auto &C : Caches)
+    C->enableCrossCheck(CrossCheckEvery);
+}
+
+Status CacheBank::crossCheckNow() const {
+  for (const auto &C : Caches)
+    if (Status S = C->crossCheckNow(); !S.ok())
+      return S;
+  return Status();
+}
+
+Status CacheBank::auditAll() {
+  flush();
+  for (const auto &C : Caches)
+    if (Status S = C->auditState(); !S.ok())
+      return S;
+  return Status();
 }
 
 void CacheBank::addPaperGrid(const CacheConfig &Prototype) {
@@ -67,10 +91,16 @@ void CacheBank::publish() {
 }
 
 void CacheBank::flush() {
-  if (!Pool)
-    return;
-  publish();
-  Pool->drain();
+  if (Pool) {
+    publish();
+    Pool->drain();
+  }
+  // Flush points (GC boundaries, end of run) are where the deep
+  // comparison runs: per-access checks catch hit-class divergence, this
+  // catches silent state or counter drift in either execution mode.
+  if (CrossCheckEvery)
+    if (Status S = crossCheckNow(); !S.ok())
+      throw StatusError(std::move(S));
 }
 
 const Cache *CacheBank::find(uint32_t SizeBytes, uint32_t BlockBytes) const {

@@ -71,6 +71,24 @@ public:
   /// Number of worker threads (0 = serial mode).
   unsigned threads() const { return Pool ? Pool->threads() : 0; }
 
+  /// Attaches a shadow oracle to every cache in the bank (--crosscheck),
+  /// including ones added by later addConfig calls. Hit classes are
+  /// compared every \p CompareEvery references; flush points additionally
+  /// deep-compare full contents and counters (crossCheckNow), throwing
+  /// StatusError(Divergence) on mismatch. Must be enabled before
+  /// setThreads() — the oracle rides inside each Cache, so the shard
+  /// workers drive it for free, but attaching mid-flight would race them.
+  void enableCrossCheck(uint64_t CompareEvery = 1);
+  bool crossCheckEnabled() const { return CrossCheckEvery != 0; }
+
+  /// First failing deep comparison across the bank, or Ok. Serial callers
+  /// may use this directly; flush() calls it in both modes.
+  Status crossCheckNow() const;
+
+  /// First failing internal-consistency audit across the bank, or Ok
+  /// (Cache::auditState per cache). Drains the workers first.
+  Status auditAll();
+
   /// Publishes any buffered references and waits until the workers have
   /// simulated everything. Required before reading counters in threaded
   /// mode; a no-op in serial mode. If a shard worker failed since the last
@@ -123,6 +141,7 @@ private:
   std::unique_ptr<ShardPool> Pool;
   RefBatch Pending;
   size_t BatchRefs = DefaultBatchRefs;
+  uint64_t CrossCheckEvery = 0; ///< 0 = cross-checking off.
 };
 
 } // namespace gcache

@@ -34,6 +34,43 @@ int MultiLevelCache::access(const Ref &R) {
   return 2;
 }
 
+Status MultiLevelCache::crossCheckNow() const {
+  if (Status S = L1.crossCheckNow(); !S.ok())
+    return S;
+  if (Status S = L2.crossCheckNow(); !S.ok())
+    return S;
+  return auditFillCounters();
+}
+
+Status MultiLevelCache::auditState() const {
+  if (Status S = L1.auditState(); !S.ok())
+    return S;
+  if (Status S = L2.auditState(); !S.ok())
+    return S;
+  return auditFillCounters();
+}
+
+Status MultiLevelCache::auditFillCounters() const {
+  // Every L1 fetch miss is filled from L2 (whether L2 hit or missed), and
+  // every L2 fetch miss went to memory; the hierarchy cannot invent or
+  // lose fills.
+  uint64_t L1Fetch = L1.totalCounters().FetchMisses;
+  if (FillsFromL2 != L1Fetch)
+    return Status::failf(StatusCode::AuditFailure,
+                         "hierarchy: %llu L1->L2 fills, but L1 recorded "
+                         "%llu fetch misses",
+                         static_cast<unsigned long long>(FillsFromL2),
+                         static_cast<unsigned long long>(L1Fetch));
+  uint64_t L2Fetch = L2.totalCounters().FetchMisses;
+  if (MemoryFetches != L2Fetch)
+    return Status::failf(StatusCode::AuditFailure,
+                         "hierarchy: %llu memory fetches, but L2 recorded "
+                         "%llu fetch misses",
+                         static_cast<unsigned long long>(MemoryFetches),
+                         static_cast<unsigned long long>(L2Fetch));
+  return Status();
+}
+
 double MultiLevelCache::overhead(const MemoryTiming &Mem,
                                  const ProcessorModel &Proc,
                                  const L2Timing &L2T,

@@ -63,6 +63,22 @@ public:
   const Cache &l1() const { return L1; }
   const Cache &l2() const { return L2; }
 
+  /// Attaches shadow oracles to both levels (--crosscheck). The oracles
+  /// follow each level's own reference stream (L2 sees only L1 fill
+  /// loads), so the hierarchy's routing is validated as well.
+  void enableCrossCheck(uint64_t CompareEvery = 1) {
+    L1.enableCrossCheck(CompareEvery);
+    L2.enableCrossCheck(CompareEvery);
+  }
+
+  /// Deep comparison of both levels against their oracles, plus the
+  /// hierarchy's own conservation law: every L1 fetch miss fills from L2,
+  /// and every L2 fetch miss reaches memory.
+  Status crossCheckNow() const;
+
+  /// Internal-consistency audit of both levels and the fill counters.
+  Status auditState() const;
+
   /// Fetch misses that were satisfied by L2.
   uint64_t l1FillsFromL2() const { return FillsFromL2; }
   /// Fetch misses that went to main memory.
@@ -74,6 +90,8 @@ public:
                   const L2Timing &L2T, uint64_t Instructions) const;
 
 private:
+  Status auditFillCounters() const;
+
   Cache L1;
   Cache L2;
   uint64_t FillsFromL2 = 0;

@@ -256,6 +256,12 @@ Status SnapshotReader::open(const std::string &Path) {
   if (ReadError)
     return Status::failf(StatusCode::IoError, "cannot read snapshot '%s'",
                          Path.c_str());
+  return openBuffer(Blob, Path);
+}
+
+Status SnapshotReader::openBuffer(const std::vector<uint8_t> &Blob,
+                                  const std::string &Path) {
+  Sections.clear();
 
   // Header.
   if (Blob.size() < 16)

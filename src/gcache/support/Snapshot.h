@@ -137,12 +137,21 @@ public:
   /// section CRC is wrong. After a failed open no section is accessible.
   Status open(const std::string &Path);
 
+  /// open() over an in-memory image instead of a file — the same
+  /// validation semantics. \p Name labels diagnostics. This is the
+  /// fuzzing entry point: hostile bytes go through the identical code
+  /// path as hostile files.
+  Status openBuffer(const std::vector<uint8_t> &Bytes,
+                    const std::string &Name = "<buffer>");
+
   bool hasSection(const std::string &Tag) const;
   /// Cursor over the section's payload; a missing section returns a cursor
   /// whose status is already Corrupt (the caller's finish() reports it).
   SnapshotCursor section(const std::string &Tag) const;
 
   size_t sectionCount() const { return Sections.size(); }
+  /// Tag of the I-th section in file order (tests and fuzz walkers).
+  const std::string &sectionTag(size_t I) const { return Sections[I].Tag; }
 
 private:
   struct Section {

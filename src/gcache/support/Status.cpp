@@ -35,6 +35,10 @@ const char *gcache::statusCodeName(StatusCode Code) {
     return "corrupt";
   case StatusCode::Truncated:
     return "truncated";
+  case StatusCode::Divergence:
+    return "divergence";
+  case StatusCode::AuditFailure:
+    return "audit-failure";
   }
   return "unknown";
 }

@@ -51,6 +51,8 @@ enum class StatusCode : uint8_t {
   Aborted,         ///< Injected workload-step abort.
   Corrupt,         ///< On-disk data fails validation (CRC, magic, opcode).
   Truncated,       ///< On-disk data ends early (torn or interrupted write).
+  Divergence,      ///< Shadow-oracle cross-check mismatch (--crosscheck).
+  AuditFailure,    ///< Conservation-law audit violation (--audit).
 };
 
 /// Stable lower-case name of \p Code ("out-of-memory", "io-error", ...).

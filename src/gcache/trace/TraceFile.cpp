@@ -196,43 +196,47 @@ size_t recordLen(uint8_t Op) {
 } // namespace
 
 Status TraceStream::open(const std::string &Path, bool Salvage) {
-  Data.clear();
-  RecordsBegin = RecordsEnd = Pos = 0;
-  Index = Count = 0;
-  Damage = Status();
-
   FILE *File = std::fopen(Path.c_str(), "rb");
   if (!File)
     return Status::failf(StatusCode::IoError, "cannot open trace '%s'",
                          Path.c_str());
+  std::vector<uint8_t> Bytes;
   uint8_t Buf[1 << 16];
   size_t N;
   while ((N = std::fread(Buf, 1, sizeof(Buf), File)) > 0)
-    Data.insert(Data.end(), Buf, Buf + N);
+    Bytes.insert(Bytes.end(), Buf, Buf + N);
   bool ReadError = std::ferror(File) != 0;
   std::fclose(File);
-  if (ReadError) {
-    Data.clear();
+  if (ReadError)
     return Status::failf(StatusCode::IoError, "cannot read trace '%s'",
                          Path.c_str());
-  }
+  return openBuffer(std::move(Bytes), Salvage, Path);
+}
+
+Status TraceStream::openBuffer(std::vector<uint8_t> Bytes, bool Salvage,
+                               const std::string &Name) {
+  Data = std::move(Bytes);
+  RecordsBegin = RecordsEnd = Pos = 0;
+  Index = Count = Declared = 0;
+  Damage = Status();
 
   // Header. Damage this early is never salvageable: with no intact header
   // there is no record stream to cut a prefix from.
   if (Data.size() < HeaderBytes)
     return Status::failf(StatusCode::Truncated,
                          "trace '%s' is %zu bytes, shorter than its header",
-                         Path.c_str(), Data.size());
+                         Name.c_str(), Data.size());
   if (std::memcmp(Data.data(), Magic, 4) != 0)
     return Status::failf(StatusCode::Corrupt,
-                         "'%s' is not a trace file (bad magic)", Path.c_str());
+                         "'%s' is not a trace file (bad magic)", Name.c_str());
   uint32_t FileVersion = get32(Data.data() + 4);
   if (FileVersion < 1 || FileVersion > Version)
     return Status::failf(StatusCode::Corrupt,
-                         "trace '%s' has unsupported version %u", Path.c_str(),
+                         "trace '%s' has unsupported version %u", Name.c_str(),
                          FileVersion);
   uint64_t Expected = static_cast<uint64_t>(get32(Data.data() + 8)) |
                       (static_cast<uint64_t>(get32(Data.data() + 12)) << 32);
+  Declared = Expected;
   bool HasFooter = FileVersion >= 2;
 
   // Walk the record stream, remembering the end of the last whole record
@@ -252,7 +256,7 @@ Status TraceStream::open(const std::string &Path, bool Salvage) {
     if (Len == 0) {
       Found = Status::failf(StatusCode::Corrupt,
                             "trace '%s' has unknown opcode %u at record %llu",
-                            Path.c_str(), Data[P],
+                            Name.c_str(), Data[P],
                             static_cast<unsigned long long>(Seen));
       break;
     }
@@ -261,7 +265,7 @@ Status TraceStream::open(const std::string &Path, bool Salvage) {
       // bytes we reserved for the footer might actually be record bytes of
       // a truncated file — either way the structure ends early.
       Found = Status::failf(StatusCode::Truncated,
-                            "trace '%s' ends inside record %llu", Path.c_str(),
+                            "trace '%s' ends inside record %llu", Name.c_str(),
                             static_cast<unsigned long long>(Seen));
       break;
     }
@@ -272,11 +276,11 @@ Status TraceStream::open(const std::string &Path, bool Salvage) {
 
   if (Found.ok() && FooterMissing)
     Found = Status::failf(StatusCode::Truncated,
-                          "trace '%s' ends before its footer", Path.c_str());
+                          "trace '%s' ends before its footer", Name.c_str());
   if (Found.ok() && HasFooter &&
       std::memcmp(Data.data() + StreamEnd, FooterMagic, 4) != 0)
     Found = Status::failf(StatusCode::Corrupt,
-                          "trace '%s' has a malformed footer", Path.c_str());
+                          "trace '%s' has a malformed footer", Name.c_str());
   if (Found.ok() && HasFooter) {
     uint32_t WantCrc = get32(Data.data() + StreamEnd + 4);
     uint32_t GotCrc =
@@ -285,13 +289,13 @@ Status TraceStream::open(const std::string &Path, bool Salvage) {
       Found = Status::failf(StatusCode::Corrupt,
                             "trace '%s' fails its checksum (stored %08x, "
                             "computed %08x)",
-                            Path.c_str(), WantCrc, GotCrc);
+                            Name.c_str(), WantCrc, GotCrc);
   }
   if (Found.ok() && Seen != Expected)
     Found = Status::failf(StatusCode::Corrupt,
                           "trace '%s' holds %llu records but its header "
                           "promises %llu",
-                          Path.c_str(),
+                          Name.c_str(),
                           static_cast<unsigned long long>(Seen),
                           static_cast<unsigned long long>(Expected));
 

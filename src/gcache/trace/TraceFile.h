@@ -120,6 +120,13 @@ public:
   /// reported by damage().
   Status open(const std::string &Path, bool Salvage = false);
 
+  /// open() over an in-memory image instead of a file — the same
+  /// validation, salvage, and replay semantics. \p Name labels
+  /// diagnostics. This is the fuzzing entry point: hostile bytes go
+  /// through the identical code path as hostile files.
+  Status openBuffer(std::vector<uint8_t> Bytes, bool Salvage = false,
+                    const std::string &Name = "<buffer>");
+
   /// Decodes the next record; false at end of stream.
   bool next(TraceRecord &Rec);
 
@@ -139,6 +146,19 @@ public:
   /// status describing what was cut off.
   const Status &damage() const { return Damage; }
 
+  /// Record count promised by the header (meaningful even when salvage cut
+  /// the stream short).
+  uint64_t declaredRecordCount() const { return Declared; }
+  /// What a salvage cut dropped: file bytes after the last whole record,
+  /// and header-promised records that are not in the salvaged prefix.
+  /// Both 0 for an undamaged stream.
+  uint64_t droppedBytes() const {
+    return Damage.ok() ? 0 : Data.size() - RecordsEnd;
+  }
+  uint64_t droppedRecords() const {
+    return !Damage.ok() && Declared > Count ? Declared - Count : 0;
+  }
+
 private:
   std::vector<uint8_t> Data; ///< Whole file, validated at open().
   size_t RecordsBegin = 0;   ///< First record byte.
@@ -146,6 +166,7 @@ private:
   size_t Pos = 0;
   uint64_t Index = 0;
   uint64_t Count = 0;
+  uint64_t Declared = 0; ///< Header's record count.
   Status Damage;
 };
 

@@ -117,7 +117,21 @@ private:
     }
   }
 
+  /// Hostile input like "((((((..." would otherwise recurse once per
+  /// bracket (and again in Sexpr's destructor chain), so nesting is
+  /// capped well above anything the workloads use.
+  static constexpr unsigned MaxDepth = 256;
+
   bool readDatum(Sexpr &Out) {
+    if (Depth >= MaxDepth)
+      return fail("nesting too deep");
+    ++Depth;
+    bool Ok = readDatumInner(Out);
+    --Depth;
+    return Ok;
+  }
+
+  bool readDatumInner(Sexpr &Out) {
     skipSpace();
     if (Pos >= Src.size())
       return fail("unexpected end of input");
@@ -319,6 +333,7 @@ private:
   const std::string &Src;
   size_t Pos = 0;
   unsigned Line = 1;
+  unsigned Depth = 0;
   std::string Error;
 };
 
