@@ -38,11 +38,31 @@
 ///                --retries times per unit (then the unit degrades to a
 ///                recorded failure), writing manifest.json into D
 ///   --retries N  supervised retries per failing unit (default 2)
-///   --timeout S  kill a supervised child running longer than S seconds
+///   --timeout S  stop a supervised child running longer than S seconds
+///                (SIGTERM drain first, SIGKILL only after --grace)
+///   --grace S    seconds between the timeout's SIGTERM and the SIGKILL
+///                for a child that refuses to drain (default 10)
+///   --deadline S wall-clock budget for the whole run, fractional seconds
+///                ok (GCACHE_DEADLINE env); on expiry the run drains to a
+///                checkpoint and reports partial results (exit 3)
+///   --max-refs N simulated-reference budget, k/m/g suffixes ok
+///                (GCACHE_MAX_REFS env)
+///   --mem-budget B  hard resident-memory budget, k/m/g suffixes ok
+///                (GCACHE_MEM_BUDGET env); crossing ~80% of it first
+///                degrades the analysis sinks (see --on-budget)
+///   --on-budget degrade|stop   what a soft memory breach does: degrade
+///                sinks to sampled/coarsened stats (default) or stop the
+///                run like a hard breach (GCACHE_ON_BUDGET env)
+///
+/// SIGTERM/SIGINT request the same graceful drain as a deadline: the
+/// current unit stops at the next poll site, in-flight cache batches are
+/// drained, a final checkpoint is cut, and the run exits with partial
+/// results recorded. A second signal aborts immediately.
 ///
 /// Unknown flags and malformed values (--threads=abc, --scale=1x,
-/// --fault=bogus) are hard errors: the binary prints a diagnostic and
-/// exits with status 2 instead of silently running with defaults.
+/// --fault=bogus, --deadline=-1) are hard errors: the binary prints a
+/// diagnostic and exits with status 2 instead of silently running with
+/// defaults.
 ///
 /// Failure isolation: bench mains run each workload/configuration as a
 /// unit through BenchUnitRunner. A structured failure (injected fault,
@@ -59,9 +79,12 @@
 #include "gcache/core/Checkpoint.h"
 #include "gcache/core/Experiment.h"
 #include "gcache/core/Supervisor.h"
+#include "gcache/support/Budget.h"
 #include "gcache/support/FaultInjector.h"
 #include "gcache/support/Options.h"
+#include "gcache/support/SignalGuard.h"
 #include "gcache/support/Table.h"
+#include "gcache/support/Watchdog.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -88,6 +111,8 @@ struct BenchArgs {
   bool Supervise = false;
   unsigned Retries = 2;
   unsigned TimeoutSec = 0;
+  unsigned GraceSec = 10;
+  BudgetSpec Budget;
   Options Opts;
 };
 
@@ -105,7 +130,8 @@ inline BenchArgs parseBenchArgs(int Argc, char **Argv,
       "fault",          "paranoid",         "crosscheck", "audit",
       "checkpoint-dir",
       "checkpoint-every", "resume",         "supervise",
-      "retries",        "timeout"};
+      "retries",        "timeout",          "grace",    "deadline",
+      "max-refs",       "mem-budget",       "on-budget"};
   for (const char *F : ExtraFlags)
     Known.push_back(F);
   std::vector<std::string> Unknown = A.Opts.unknownFlags(Known);
@@ -161,7 +187,8 @@ inline BenchArgs parseBenchArgs(int Argc, char **Argv,
   Expected<unsigned> Every = A.Opts.getStrictUnsigned("checkpoint-every", 0);
   Expected<unsigned> Retries = A.Opts.getStrictUnsigned("retries", 2);
   Expected<unsigned> Timeout = A.Opts.getStrictUnsigned("timeout", 0);
-  for (const auto *E : {&Every, &Retries, &Timeout})
+  Expected<unsigned> Grace = A.Opts.getStrictUnsigned("grace", 10);
+  for (const auto *E : {&Every, &Retries, &Timeout, &Grace})
     if (!E->ok()) {
       std::fprintf(stderr, "error: %s\n", E->status().message().c_str());
       std::exit(2);
@@ -169,6 +196,24 @@ inline BenchArgs parseBenchArgs(int Argc, char **Argv,
   A.CheckpointEvery = *Every;
   A.Retries = *Retries;
   A.TimeoutSec = *Timeout;
+  A.GraceSec = *Grace;
+
+  // Resource budgets (support/Budget.h): deadline, reference budget,
+  // memory budget. Configured before any supervise fork so children
+  // inherit the budget *and its start time* — a supervised restart must
+  // not extend the deadline.
+  Expected<BudgetSpec> Budget = parseBudgetFlags(A.Opts);
+  if (!Budget.ok()) {
+    std::fprintf(stderr, "error: %s\n", Budget.status().message().c_str());
+    std::exit(2);
+  }
+  A.Budget = *Budget;
+  processBudget().configure(A.Budget);
+
+  // Graceful shutdown: first SIGTERM/SIGINT requests a drain, the second
+  // aborts. Installed before the supervise fork so the parent forwards
+  // operator signals to the child as a drain request.
+  SignalGuard::install();
   A.Resume = A.Opts.getBool("resume", false);
   A.Supervise = A.Opts.getBool("supervise", false);
   if (A.CheckpointDir.empty() &&
@@ -182,14 +227,22 @@ inline BenchArgs parseBenchArgs(int Argc, char **Argv,
   Ctx.Dir = A.CheckpointDir;
   Ctx.EveryRefs = A.CheckpointEvery;
   Ctx.Resume = A.Resume;
-  if (!A.CheckpointDir.empty())
+  if (!A.CheckpointDir.empty()) {
     mkdir(A.CheckpointDir.c_str(), 0755); // may already exist
+    sweepStaleTmpFiles(A.CheckpointDir);  // half-written snapshots
+    // A fresh (non-resuming, unsupervised) run starts its outcome ledger
+    // over; resumed runs append, last entry per unit wins. The supervisor
+    // clears it in superviseLoop before the first fork.
+    if (!A.Resume && !A.Supervise)
+      std::remove(Ctx.outcomesPath().c_str());
+  }
 
   if (A.Supervise) {
     SupervisorOptions SOpts;
     SOpts.CheckpointDir = A.CheckpointDir;
     SOpts.MaxRetries = A.Retries;
     SOpts.TimeoutSec = A.TimeoutSec;
+    SOpts.GraceSec = A.GraceSec;
     SuperviseOutcome Outcome = superviseLoop(SOpts);
     if (!Outcome.InChild)
       std::exit(Outcome.ExitCode); // supervisor parent: the run is over
@@ -197,7 +250,17 @@ inline BenchArgs parseBenchArgs(int Argc, char **Argv,
     // units — and fast-abort on unit failure so the supervisor retries.
     Ctx.Supervised = true;
     Ctx.Resume = true;
+    // A restarted child starts with a fresh token even if the previous
+    // child died draining; the supervisor re-signals when it still wants
+    // the drain (and the inherited deadline re-trips on its own).
+    cancelToken().reset();
   }
+
+  // The watchdog thread backs up the cooperative deadline/memory checks.
+  // It must start AFTER the supervise fork: threads do not survive
+  // fork(), so starting it earlier would leave the child watchdog-less.
+  if (processBudget().active())
+    processWatchdog().start();
   return A;
 }
 
@@ -244,11 +307,29 @@ public:
       recordFailure(Unit, S);
       return S;
     }
+    // A budget already exhausted before this unit starts: never begin it.
+    // This is the one outcome stamped `cancelled` (as opposed to the
+    // Partial* outcomes of a unit interrupted mid-run).
+    if (cancelToken().requested()) {
+      Status S = Status::failf(
+          StatusCode::Cancelled, "unit not started: %s already requested",
+          cancelReasonName(cancelToken().reason()));
+      std::fprintf(stderr, "CANCELLED %s: %s\n", Unit.c_str(),
+                   S.message().c_str());
+      ++Partials;
+      recordOutcome(Ctx, Unit, unitOutcomeName(UnitOutcome::Cancelled), -1.0,
+                    S.message());
+      return S;
+    }
     if (CanSnapshot && Ctx.Resume) {
       Expected<ProgramRun> Cached =
           loadUnitSnapshot(Ctx.unitSnapshotPath(Unit), Unit, Opts.Scale);
-      if (Cached.ok()) {
+      // A partial snapshot is a drain marker, not a result: the unit
+      // re-runs from scratch (deterministically) on resume.
+      if (Cached.ok() && !Cached->partial()) {
         ++Succeeded;
+        recordOutcome(Ctx, Unit, unitOutcomeName(Cached->Outcome),
+                      Cached->Coverage, Cached->OutcomeNote);
         return Cached;
       }
       // Missing snapshot: the unit never finished — run it. A damaged
@@ -259,13 +340,27 @@ public:
     markUnitInProgress(Ctx, Unit);
     Expected<ProgramRun> R = tryRunProgram(W, Opts);
     if (R.ok()) {
-      ++Succeeded;
+      if (R->partial()) {
+        // Drained mid-run: the counters cover the completed prefix. Stamp
+        // it loudly so no table from this run is mistaken for a full one.
+        ++Partials;
+        std::printf("PARTIAL %s: %s (coverage %.0f%%)\n", Unit.c_str(),
+                    R->OutcomeNote.c_str(),
+                    R->Coverage >= 0 ? R->Coverage * 100.0 : 0.0);
+      } else {
+        ++Succeeded;
+      }
+      if (R->Degraded)
+        std::printf("DEGRADED %s: %s\n", Unit.c_str(),
+                    R->DegradeNote.c_str());
       if (CanSnapshot)
         if (Status S = saveUnitSnapshot(Ctx.unitSnapshotPath(Unit), *R,
                                         Opts.Scale);
             !S.ok())
           std::fprintf(stderr, "warning: %s: checkpoint not written: %s\n",
                        Unit.c_str(), S.toString().c_str());
+      recordOutcome(Ctx, Unit, unitOutcomeName(R->Outcome), R->Coverage,
+                    R->OutcomeNote);
       clearUnitInProgress(Ctx);
       return R;
     }
@@ -278,6 +373,8 @@ public:
       _exit(SupervisedAbortExit);
     }
     recordFailure(Unit, R.status());
+    recordOutcome(Ctx, Unit, unitOutcomeName(UnitOutcome::Failed), -1.0,
+                  R.status().message());
     clearUnitInProgress(Ctx);
     return R;
   }
@@ -293,22 +390,51 @@ public:
   void recordSuccess() { ++Succeeded; }
 
   bool anyFailed() const { return !Failures.empty(); }
+  bool anyPartial() const { return Partials != 0; }
 
-  /// Prints the failure summary (if any) and returns the process exit
-  /// code: 0 when every unit succeeded, 1 otherwise.
+  /// Prints the failure/partial summary (if any) and returns the process
+  /// exit code: 0 when every unit succeeded, 1 when any failed, 3 when
+  /// none failed but some are partial (budget/deadline/signal drain).
   int finish() const {
-    if (Failures.empty())
+    if (Failures.empty() && Partials == 0)
       return 0;
-    std::fprintf(stderr, "\n%u unit(s) succeeded, %zu failed:\n", Succeeded,
-                 Failures.size());
-    for (const auto &F : Failures)
-      std::fprintf(stderr, "  FAILED %s: %s\n", F.first.c_str(),
-                   F.second.toString().c_str());
-    return 1;
+    if (!Failures.empty()) {
+      std::fprintf(stderr, "\n%u unit(s) succeeded, %zu failed:\n",
+                   Succeeded, Failures.size());
+      for (const auto &F : Failures)
+        std::fprintf(stderr, "  FAILED %s: %s\n", F.first.c_str(),
+                     F.second.toString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr,
+                 "\n%u unit(s) succeeded, %u partial (budget/deadline "
+                 "drain); resume with --resume to finish\n",
+                 Succeeded, Partials);
+    return 3;
   }
 
 private:
+  /// Appends one line to the per-unit outcome ledger the supervisor folds
+  /// into manifest.json. No-op when checkpointing is disabled.
+  static void recordOutcome(const CheckpointContext &Ctx,
+                            const std::string &Unit, const char *Outcome,
+                            double Coverage, const std::string &Note) {
+    if (!Ctx.enabled())
+      return;
+    if (FILE *F = std::fopen(Ctx.outcomesPath().c_str(), "ab")) {
+      // Tabs are the field separators; scrub them out of the free text.
+      std::string CleanNote = Note;
+      for (char &C : CleanNote)
+        if (C == '\t' || C == '\n')
+          C = ' ';
+      std::fprintf(F, "%s\t%s\t%.6g\t%s\n", Unit.c_str(), Outcome, Coverage,
+                   CleanNote.c_str());
+      std::fclose(F);
+    }
+  }
+
   unsigned Succeeded = 0;
+  unsigned Partials = 0;
   std::vector<std::pair<std::string, Status>> Failures;
 };
 

@@ -21,7 +21,8 @@
 // replay with the shadow oracle / conservation auditor.
 //
 // Exit codes: 0 valid (or salvage dropped nothing), 1 damaged or replay
-// failure, 2 usage error, 3 test-kill abort (resumable), 4 salvage
+// failure, 2 usage error, 3 resumable partial replay (test-kill abort, or
+// a --deadline/--max-refs/signal drain to a checkpoint), 4 salvage
 // truncated data (the summary reports the dropped bytes/records).
 //
 //===----------------------------------------------------------------------===//
@@ -148,6 +149,15 @@ int main(int Argc, char **Argv) {
               static_cast<unsigned long long>(R->RecordsReplayed),
               static_cast<unsigned long long>(Counts.totalRefs()),
               static_cast<unsigned long long>(Counts.collections()));
+  if (R->partial()) {
+    // A budget/deadline/signal drain: the counters cover the replayed
+    // prefix and the drain checkpoint is resumable (like exit 3's
+    // test-kill, but graceful).
+    std::printf("replay: PARTIAL (%s): %s; coverage %.0f%%\n",
+                unitOutcomeName(R->Outcome), R->OutcomeNote.c_str(),
+                R->Coverage >= 0 ? R->Coverage * 100.0 : 0.0);
+    return 3;
+  }
 
   const Cache &C = Bank.cache(0);
   CacheCounters Sum = C.counters(Phase::Mutator);

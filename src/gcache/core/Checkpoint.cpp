@@ -10,6 +10,9 @@
 #include <cassert>
 #include <cctype>
 #include <cstdio>
+#include <cstring>
+
+#include <dirent.h>
 
 using namespace gcache;
 
@@ -41,6 +44,27 @@ std::string CheckpointContext::inProgressPath() const {
 
 std::string CheckpointContext::denyListPath() const {
   return Dir + "/deny.list";
+}
+
+std::string CheckpointContext::outcomesPath() const {
+  return Dir + "/outcomes.list";
+}
+
+unsigned gcache::sweepStaleTmpFiles(const std::string &Dir) {
+  DIR *D = opendir(Dir.c_str());
+  if (!D)
+    return 0;
+  unsigned Removed = 0;
+  while (struct dirent *E = readdir(D)) {
+    size_t Len = std::strlen(E->d_name);
+    if (Len < 4 || std::strcmp(E->d_name + Len - 4, ".tmp") != 0)
+      continue;
+    std::string Path = Dir + "/" + E->d_name;
+    if (std::remove(Path.c_str()) == 0)
+      ++Removed;
+  }
+  closedir(D);
+  return Removed;
 }
 
 static bool fileExists(const std::string &Path) {
@@ -165,6 +189,8 @@ gcache::replayTraceCheckpointed(const std::string &TracePath, CacheBank &Bank,
 
   TraceRecord Rec;
   uint64_t SinceCheckpoint = 0;
+  uint64_t RefsSincePoll = 0;
+  uint64_t SincePoll = 0;
   try {
     while (Stream.next(Rec)) {
       Rec.dispatch(Counts);
@@ -173,6 +199,17 @@ gcache::replayTraceCheckpointed(const std::string &TracePath, CacheBank &Bank,
         Rec.dispatch(Auditor);
       ++Result.RecordsReplayed;
       ++SinceCheckpoint;
+      if (Rec.Op == TraceRecord::Kind::Ref)
+        ++RefsSincePoll;
+      // Cooperative cancellation: poll every 64 records. A trip lands in
+      // the catch below, which cuts a drain checkpoint at this exact
+      // record boundary — resuming from it finishes bit-identically.
+      if (++SincePoll >= 64) {
+        processBudget().noteRefs(RefsSincePoll);
+        RefsSincePoll = 0;
+        SincePoll = 0;
+        pollCancellation("replay");
+      }
       if (Opts.StopAfterRecords &&
           Result.RecordsReplayed >= Opts.StopAfterRecords)
         return Status::failf(
@@ -194,6 +231,27 @@ gcache::replayTraceCheckpointed(const std::string &TracePath, CacheBank &Bank,
     }
     Bank.flush();
   } catch (const StatusError &E) {
+    if (E.status().code() == StatusCode::Cancelled) {
+      // A budget, deadline, or signal tripped. The stream sits at a record
+      // boundary, so the state is a consistent prefix: drain the workers,
+      // cut the drain checkpoint, audit it, and report a partial result.
+      Bank.flush();
+      if (!Opts.SnapshotPath.empty())
+        if (Status S = cutReplayCheckpoint(Opts.SnapshotPath, Stream, Bank,
+                                           Counts);
+            !S.ok())
+          return S;
+      if (Opts.Audit)
+        if (Status S = Auditor.finalCheck("cancel-drain"); !S.ok())
+          return S;
+      Result.Outcome = outcomeForReason(cancelToken().reason());
+      Result.OutcomeNote = E.status().message();
+      Result.Coverage =
+          Stream.recordCount()
+              ? double(Stream.recordIndex()) / double(Stream.recordCount())
+              : -1.0;
+      return Result;
+    }
     // Divergence/audit failures and rethrown shard-worker exceptions
     // surface through this function's Expected like every other replay
     // error.
@@ -202,6 +260,7 @@ gcache::replayTraceCheckpointed(const std::string &TracePath, CacheBank &Bank,
   if (Opts.Audit)
     if (Status S = Auditor.finalCheck(); !S.ok())
       return S;
+  Result.Coverage = 1.0;
   return Result;
 }
 
@@ -231,6 +290,13 @@ Status gcache::saveUnitSnapshot(const std::string &Path, ProgramRun &Run,
   W.putU64(Run.Stats.Gc.ObjectsCopied);
   W.putU64(Run.Stats.Gc.WordsCopied);
   W.putU64(Run.Stats.Gc.Instructions);
+  // Resource-governance stamp: partial snapshots must never be mistaken
+  // for completed units on resume (BenchUnitRunner re-runs them).
+  W.putString(unitOutcomeName(Run.Outcome));
+  W.putString(Run.OutcomeNote);
+  W.putDouble(Run.Coverage);
+  W.putU8(Run.Degraded ? 1 : 0);
+  W.putString(Run.DegradeNote);
 
   W.beginSection("unit-bank");
   W.putU64(Run.Bank->size());
@@ -274,6 +340,16 @@ Expected<ProgramRun> gcache::loadUnitSnapshot(const std::string &Path,
   Run.Stats.Gc.ObjectsCopied = C.getU64();
   Run.Stats.Gc.WordsCopied = C.getU64();
   Run.Stats.Gc.Instructions = C.getU64();
+  std::string OutcomeName = C.getString();
+  Run.OutcomeNote = C.getString();
+  Run.Coverage = C.getDouble();
+  Run.Degraded = C.getU8() != 0;
+  Run.DegradeNote = C.getString();
+  Run.Outcome = unitOutcomeFromName(OutcomeName);
+  if (C.ok() && OutcomeName != unitOutcomeName(Run.Outcome))
+    C.fail(Status::failf(StatusCode::Corrupt,
+                         "snapshot '%s' holds unknown outcome '%s'",
+                         Path.c_str(), OutcomeName.c_str()));
   if (C.ok() && (Run.Name != UnitName || SavedScale != Scale))
     C.fail(Status::failf(StatusCode::Corrupt,
                          "snapshot '%s' is for unit '%s' at scale %g, not "

@@ -58,9 +58,19 @@ struct CheckpointContext {
   /// Path of the deny list: units that exhausted their retries and must
   /// degrade gracefully instead of re-crashing the child.
   std::string denyListPath() const;
+  /// Path of the per-unit outcome ledger (one "name\toutcome\tcoverage"
+  /// line per finished unit; the last line per unit wins). The supervisor
+  /// folds it into manifest.json.
+  std::string outcomesPath() const;
 };
 
 CheckpointContext &checkpointContext();
+
+/// Removes stale "*.tmp" files from \p Dir — half-written snapshots left
+/// by a kill inside SnapshotWriter's write-then-rename window. Safe to run
+/// at every startup: the atomic rename protocol means a .tmp file is never
+/// the authoritative copy of anything. Returns the number removed.
+unsigned sweepStaleTmpFiles(const std::string &Dir);
 
 /// How replayTraceCheckpointed checkpoints and resumes.
 struct ReplayCheckpointOptions {
@@ -84,6 +94,15 @@ struct ReplayCheckpointResult {
   uint64_t RecordsReplayed = 0; ///< Records dispatched by this call.
   uint64_t StartRecord = 0;     ///< First record index of this call.
   bool Resumed = false;         ///< True when a snapshot was loaded.
+  /// Ok, or a Partial* outcome when a budget/deadline/signal tripped
+  /// mid-replay; the counters then cover exactly the records up to the
+  /// drain checkpoint, and resuming replays the remainder bit-identically.
+  UnitOutcome Outcome = UnitOutcome::Ok;
+  std::string OutcomeNote; ///< Cancellation detail ("" when Ok).
+  /// Records dispatched so far / total records; negative when unknown.
+  double Coverage = -1.0;
+
+  bool partial() const { return Outcome != UnitOutcome::Ok; }
 };
 
 /// Replays \p TracePath into \p Bank and \p Counts with checkpointing per

@@ -9,6 +9,18 @@
 
 using namespace gcache;
 
+namespace {
+
+/// Feeds the simulated-reference clock of the process budget so
+/// --max-refs trips at cooperative poll sites. Rides first on the bus:
+/// metering must see a reference before any sink that might poll.
+class BudgetRefMeter final : public TraceSink {
+public:
+  void onRef(const Ref &) override { processBudget().noteRefs(1); }
+};
+
+} // namespace
+
 uint32_t ExperimentOptions::effectiveSemispace() const {
   if (SemispaceBytes)
     return SemispaceBytes;
@@ -52,7 +64,10 @@ ProgramRun gcache::runProgram(const Workload &W,
   Bank->setThreads(Opts.Threads);
 
   CountingSink Counts;
+  BudgetRefMeter Meter;
   TraceBus Bus;
+  if (processBudget().active())
+    Bus.addSink(&Meter);
   Bus.addSink(&Counts);
   if (Bank->size())
     Bus.addSink(Bank.get());
@@ -75,20 +90,53 @@ ProgramRun gcache::runProgram(const Workload &W,
   SysConfig.Paranoid = Opts.Paranoid;
   SchemeSystem Sys(SysConfig);
 
-  Sys.loadDefinitions(W.Definitions);
-  Sys.run(W.RunExpr(Opts.Scale));
+  try {
+    Sys.loadDefinitions(W.Definitions);
+    Sys.run(W.RunExpr(Opts.Scale));
+  } catch (const StatusError &E) {
+    if (E.status().code() != StatusCode::Cancelled)
+      throw;
+    // Cooperative cancellation: the run stops at a poll site, not at a
+    // random instruction, so the trace delivered so far is a consistent
+    // prefix. Drain the shard workers, re-audit the drained state, and
+    // report a partial result instead of a failure.
+    Bank->setThreads(0);
+    if (Opts.Audit)
+      if (Status S = Auditor.finalCheck("cancel-drain"); !S.ok())
+        throw StatusError(std::move(S));
+    if (Opts.CrossCheckEvery)
+      if (Status S = Bank->crossCheckNow(); !S.ok())
+        throw StatusError(std::move(S));
+    Run.Outcome = outcomeForReason(cancelToken().reason());
+    Run.OutcomeNote = E.status().message();
+    Run.Coverage = Sys.lastRunCoverage();
+  }
 
   // Drain the shard workers and return the bank in serial mode so that
   // callers can read counters (and keep feeding it) without further
   // synchronization.
   Bank->setThreads(0);
 
-  if (Opts.Audit)
-    if (Status S = Auditor.finalCheck(); !S.ok())
-      throw StatusError(std::move(S));
-  if (Opts.CrossCheckEvery)
-    if (Status S = Bank->crossCheckNow(); !S.ok())
-      throw StatusError(std::move(S));
+  if (Run.Outcome == UnitOutcome::Ok) {
+    if (Opts.Audit)
+      if (Status S = Auditor.finalCheck(); !S.ok())
+        throw StatusError(std::move(S));
+    if (Opts.CrossCheckEvery)
+      if (Status S = Bank->crossCheckNow(); !S.ok())
+        throw StatusError(std::move(S));
+    Run.Coverage = 1.0;
+  }
+
+  if (processBudget().degradeLevel() > 0) {
+    Run.Degraded = true;
+    std::string Joined;
+    for (const std::string &Note : processBudget().degradationNotes()) {
+      if (!Joined.empty())
+        Joined += "; ";
+      Joined += Note;
+    }
+    Run.DegradeNote = Joined;
+  }
 
   Run.Stats = Sys.lastRunStats();
   Run.TotalRefs = Counts.totalRefs();

@@ -27,6 +27,7 @@
 #include "gcache/gc/GenerationalCollector.h"
 #include "gcache/memsys/CacheBank.h"
 #include "gcache/memsys/Overhead.h"
+#include "gcache/support/Budget.h"
 #include "gcache/vm/SchemeSystem.h"
 #include "gcache/workloads/Workload.h"
 
@@ -96,12 +97,33 @@ struct ProgramRun {
   Address RuntimeVectorAddr = 0;
   uint32_t StaticBytes = 0;
   std::unique_ptr<CacheBank> Bank;
+
+  /// Resource-governance verdict for this run. Ok means the workload ran
+  /// to completion; the Partial* outcomes mean a budget or signal tripped
+  /// mid-run and the counters below cover only the drained prefix.
+  UnitOutcome Outcome = UnitOutcome::Ok;
+  /// Human-readable cancellation/degradation detail ("" when Ok).
+  std::string OutcomeNote;
+  /// Fraction of the workload's top-level forms that completed, in
+  /// [0, 1]; negative when unknown (e.g. a run cancelled before load).
+  double Coverage = -1.0;
+  /// True when a soft memory breach degraded any analysis sink; the
+  /// specific degradations are listed in DegradeNote.
+  bool Degraded = false;
+  std::string DegradeNote;
+
+  bool partial() const { return Outcome != UnitOutcome::Ok; }
 };
 
 /// Loads \p W into a fresh Scheme system configured per \p Opts, executes
 /// the measured run, and returns the results (including the cache bank).
 /// Raises StatusError on any structured failure in the run (injected
 /// fault, VM error, heap corruption in paranoid mode, ...).
+///
+/// Cooperative cancellation (deadline, budget, or signal; see
+/// support/Budget.h) is NOT a failure: the run drains the cache bank,
+/// re-audits the drained state, and returns normally with a Partial*
+/// Outcome and the counters of the completed prefix.
 ProgramRun runProgram(const Workload &W, const ExperimentOptions &Opts);
 
 /// runProgram with failures surfaced as an Expected — the per-workload

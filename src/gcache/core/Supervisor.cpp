@@ -3,6 +3,7 @@
 #include "gcache/core/Supervisor.h"
 
 #include "gcache/core/Checkpoint.h"
+#include "gcache/support/Budget.h"
 #include "gcache/support/FaultInjector.h"
 
 #include <algorithm>
@@ -66,6 +67,50 @@ std::string jsonEscape(const std::string &S) {
   return Out;
 }
 
+/// One parsed line of the per-unit outcome ledger.
+struct UnitRecord {
+  std::string Name;
+  std::string Outcome;
+  std::string Coverage;
+  std::string Note;
+};
+
+/// Reads the outcome ledger (name \t outcome \t coverage \t note per
+/// line); the last line per unit wins, first-seen order is kept.
+std::vector<UnitRecord> readOutcomeLedger(const std::string &Path) {
+  std::vector<UnitRecord> Units;
+  FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F)
+    return Units;
+  char Buf[1024];
+  while (std::fgets(Buf, sizeof(Buf), F)) {
+    std::string Line = Buf;
+    while (!Line.empty() && (Line.back() == '\n' || Line.back() == '\r'))
+      Line.pop_back();
+    UnitRecord Rec;
+    std::string *Fields[4] = {&Rec.Name, &Rec.Outcome, &Rec.Coverage,
+                              &Rec.Note};
+    size_t FieldIdx = 0;
+    for (char C : Line) {
+      if (C == '\t' && FieldIdx + 1 < 4)
+        ++FieldIdx;
+      else
+        *Fields[FieldIdx] += C;
+    }
+    if (Rec.Name.empty() || Rec.Outcome.empty())
+      continue;
+    auto It = std::find_if(Units.begin(), Units.end(), [&](const UnitRecord &U) {
+      return U.Name == Rec.Name;
+    });
+    if (It != Units.end())
+      *It = Rec;
+    else
+      Units.push_back(Rec);
+  }
+  std::fclose(F);
+  return Units;
+}
+
 /// The machine-readable run manifest: what the supervisor observed and how
 /// the run ended.
 void writeManifest(const std::string &Dir, int ExitCode, unsigned Launches,
@@ -75,6 +120,24 @@ void writeManifest(const std::string &Dir, int ExitCode, unsigned Launches,
   J += "  \"result\": \"" + std::string(Result) + "\",\n";
   J += "  \"exit_code\": " + std::to_string(ExitCode) + ",\n";
   J += "  \"launches\": " + std::to_string(Launches) + ",\n";
+  std::vector<UnitRecord> Units = readOutcomeLedger(Dir + "/outcomes.list");
+  J += "  \"units\": [\n";
+  for (size_t I = 0; I != Units.size(); ++I) {
+    const UnitRecord &U = Units[I];
+    // Coverage must stay a bare JSON number; re-format through strtod so
+    // a damaged ledger line cannot produce invalid JSON.
+    char CovBuf[32];
+    char *End = nullptr;
+    double Cov = std::strtod(U.Coverage.c_str(), &End);
+    if (U.Coverage.empty() || End == U.Coverage.c_str())
+      Cov = -1;
+    std::snprintf(CovBuf, sizeof(CovBuf), "%.6g", Cov);
+    J += "    {\"name\": \"" + jsonEscape(U.Name) + "\", \"outcome\": \"" +
+         jsonEscape(U.Outcome) + "\", \"coverage\": " + CovBuf +
+         ", \"note\": \"" + jsonEscape(U.Note) + "\"}";
+    J += I + 1 != Units.size() ? ",\n" : "\n";
+  }
+  J += "  ],\n";
   J += "  \"restarts\": [\n";
   for (size_t I = 0; I != Events.size(); ++I) {
     const LaunchEvent &E = Events[I];
@@ -104,28 +167,41 @@ void writeManifest(const std::string &Dir, int ExitCode, unsigned Launches,
   }
 }
 
-/// Waits for \p Pid, killing it after \p TimeoutSec (0 = wait forever).
-/// Returns the raw wait status; sets \p TimedOut.
-int awaitChild(pid_t Pid, unsigned TimeoutSec, bool &TimedOut) {
+/// Waits for \p Pid, enforcing the timeout gracefully: SIGTERM first (the
+/// child's signal guard drains in-flight work to a checkpoint and exits on
+/// its own), SIGKILL only after \p GraceSec more seconds. An operator
+/// cancellation of the supervisor itself (its own cancel token tripping,
+/// e.g. via SIGTERM to the parent) is forwarded to the child the same way.
+/// Returns the raw wait status; \p TimedOut reports a tripped timeout and
+/// \p Drained whether the child exited on its own after the SIGTERM.
+int awaitChild(pid_t Pid, unsigned TimeoutSec, unsigned GraceSec,
+               bool &TimedOut, bool &Drained) {
   TimedOut = false;
+  Drained = false;
+  using Clock = std::chrono::steady_clock;
+  auto Deadline = TimeoutSec ? Clock::now() + std::chrono::seconds(TimeoutSec)
+                             : Clock::time_point::max();
+  auto KillAt = Clock::time_point::max();
+  bool TermSent = false;
   int RawStatus = 0;
-  if (TimeoutSec == 0) {
-    while (waitpid(Pid, &RawStatus, 0) < 0 && errno == EINTR)
-      ;
-    return RawStatus;
-  }
-  auto Deadline =
-      std::chrono::steady_clock::now() + std::chrono::seconds(TimeoutSec);
   for (;;) {
     pid_t Done = waitpid(Pid, &RawStatus, WNOHANG);
-    if (Done == Pid)
+    if (Done == Pid) {
+      Drained = TermSent;
       return RawStatus;
-    if (std::chrono::steady_clock::now() >= Deadline) {
-      TimedOut = true;
+    }
+    auto Now = Clock::now();
+    if (!TermSent && (Now >= Deadline || cancelToken().requested())) {
+      TimedOut = Now >= Deadline;
+      kill(Pid, SIGTERM);
+      TermSent = true;
+      KillAt = Now + std::chrono::seconds(GraceSec);
+    }
+    if (Now >= KillAt) {
       kill(Pid, SIGKILL);
       while (waitpid(Pid, &RawStatus, 0) < 0 && errno == EINTR)
         ;
-      return RawStatus;
+      return RawStatus; // Drained stays false: the child ignored SIGTERM.
     }
     std::this_thread::sleep_for(std::chrono::milliseconds(20));
   }
@@ -140,8 +216,12 @@ SuperviseOutcome gcache::superviseLoop(const SupervisorOptions &Opts) {
 
   // A new supervised run starts with a clean slate of attribution state;
   // unit snapshots are deliberately kept — they are the resume value.
+  // Half-written *.tmp snapshots from a previous kill are swept: the
+  // atomic rename protocol means they are never authoritative.
   std::remove(Ctx.inProgressPath().c_str());
   std::remove(Ctx.denyListPath().c_str());
+  std::remove(Ctx.outcomesPath().c_str());
+  sweepStaleTmpFiles(Ctx.Dir);
 
   std::map<std::string, unsigned> Attempts;
   std::vector<LaunchEvent> Events;
@@ -163,12 +243,21 @@ SuperviseOutcome gcache::superviseLoop(const SupervisorOptions &Opts) {
       return {true, 0};
 
     bool TimedOut = false;
-    int RawStatus = awaitChild(Pid, Opts.TimeoutSec, TimedOut);
+    bool Drained = false;
+    int RawStatus =
+        awaitChild(Pid, Opts.TimeoutSec, Opts.GraceSec, TimedOut, Drained);
 
-    if (!TimedOut && WIFEXITED(RawStatus)) {
+    if (WIFEXITED(RawStatus) && (!TimedOut || Drained)) {
       int Code = WEXITSTATUS(RawStatus);
-      if (Code == 0 || Code == 1) {
-        writeManifest(Ctx.Dir, Code, Launches, "completed", Events, Denied);
+      if (Code == 0 || Code == 1 || Code == 3) {
+        // A child that drained on the timeout's SIGTERM ended the sweep
+        // itself: its partial units are recorded as partial-deadline in
+        // the ledger, not charged as a crash.
+        if (TimedOut)
+          Events.push_back(
+              {Launches, "timeout (drained)", readFirstLine(Ctx.inProgressPath())});
+        writeManifest(Ctx.Dir, Code, Launches,
+                      Code == 3 ? "partial" : "completed", Events, Denied);
         return {false, Code};
       }
       if (Code == 2) {

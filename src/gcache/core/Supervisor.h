@@ -25,8 +25,15 @@
 ///   0   sweep complete, all units passed
 ///   1   sweep complete, some units failed (recorded in the manifest)
 ///   2   bad flags (never retried)
+///   3   sweep complete, some units are partial (budget/deadline drain)
 ///   75  supervised fast-abort: a unit failed and wants a retry
 ///   signal / timeout   crash; retried with backoff
+///
+/// Timeouts and operator signals are graceful: the parent sends SIGTERM
+/// first, giving the child a grace window (--grace) to drain in-flight
+/// work to a checkpoint and exit on its own — that drain is attributed as
+/// a partial result, not a crash. Only a child that ignores the SIGTERM
+/// past the grace window is SIGKILLed and restarted.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -48,7 +55,10 @@ constexpr int SupervisedAbortExit = 75;
 struct SupervisorOptions {
   std::string CheckpointDir; ///< Snapshot/marker/manifest directory.
   unsigned MaxRetries = 2;   ///< Retries per failing unit before denial.
-  unsigned TimeoutSec = 0;   ///< Kill a child running longer (0 = never).
+  unsigned TimeoutSec = 0;   ///< Stop a child running longer (0 = never).
+  /// Seconds between the timeout's SIGTERM (drain request) and the
+  /// SIGKILL for a child that refuses to drain.
+  unsigned GraceSec = 10;
   unsigned BackoffMs = 100;  ///< Sleep base between restarts (doubles).
   /// Hard cap on total child launches, against pathological crash loops
   /// that never reach unit attribution (0 = derived from MaxRetries).

@@ -2,6 +2,7 @@
 
 #include "gcache/gc/CheneyCollector.h"
 
+#include "gcache/support/Budget.h"
 #include "gcache/trace/Sinks.h"
 
 using namespace gcache;
@@ -109,12 +110,18 @@ void CheneyCollector::collect() {
   }
   scanStaticArea();
 
-  // Breadth-first scan of copied objects.
+  // Breadth-first scan of copied objects. Polling the cancel token here
+  // keeps long collections responsive to a drain request; a trip abandons
+  // this unit mid-collection (its heap state is unspecified, like any
+  // other deep failure) and the unit boundary reports a partial result.
+  uint64_t ScanPolls = 0;
   while (ScanPtr < FreePtr) {
     uint32_t Header = H.load(ScanPtr);
     Stats.Instructions += gccost::ScanSlot;
     forwardSlotsAt(ScanPtr, Header);
     ScanPtr += headerObjectWords(Header) * 4;
+    if ((++ScanPolls & 0xfff) == 0)
+      pollCancellation("cheney-scan");
   }
 
   // Flip.

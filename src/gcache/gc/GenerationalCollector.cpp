@@ -2,6 +2,7 @@
 
 #include "gcache/gc/GenerationalCollector.h"
 
+#include "gcache/support/Budget.h"
 #include "gcache/trace/Sinks.h"
 
 using namespace gcache;
@@ -168,11 +169,14 @@ void GenerationalCollector::minorCollect() {
       H.storeValue(Slot, forward(V, InNurserySpace));
   }
 
+  uint64_t ScanPolls = 0;
   while (ScanPtr < FreePtr) {
     uint32_t Header = H.load(ScanPtr);
     Stats.Instructions += gccost::ScanSlot;
     forwardSlotsAt(ScanPtr, Header, InNurserySpace);
     ScanPtr += headerObjectWords(Header) * 4;
+    if ((++ScanPolls & 0xfff) == 0)
+      pollCancellation("gen-minor-scan");
   }
 
   OldFree = FreePtr;
@@ -197,11 +201,14 @@ void GenerationalCollector::collect() {
   Address CopyLimit = OldToBase + Config.OldSemispaceBytes;
 
   scanRootsAndCopy(InLiveSpace);
+  uint64_t ScanPolls = 0;
   while (ScanPtr < FreePtr) {
     uint32_t Header = H.load(ScanPtr);
     Stats.Instructions += gccost::ScanSlot;
     forwardSlotsAt(ScanPtr, Header, InLiveSpace);
     ScanPtr += headerObjectWords(Header) * 4;
+    if ((++ScanPolls & 0xfff) == 0)
+      pollCancellation("gen-major-scan");
     if (FreePtr > CopyLimit)
       fatalGcError(StatusCode::OutOfMemory,
                    "old generation overflow during a full collection; "

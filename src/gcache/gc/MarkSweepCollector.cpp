@@ -2,6 +2,7 @@
 
 #include "gcache/gc/MarkSweepCollector.h"
 
+#include "gcache/support/Budget.h"
 #include "gcache/trace/Sinks.h"
 
 using namespace gcache;
@@ -116,7 +117,10 @@ void MarkSweepCollector::mark(Value V) {
     return;
   setMark(A);
   MarkStack.push_back(A);
+  uint64_t MarkPolls = 0;
   while (!MarkStack.empty()) {
+    if ((++MarkPolls & 0xfff) == 0)
+      pollCancellation("marksweep-mark");
     Address Obj = MarkStack.back();
     MarkStack.pop_back();
     uint32_t Header = H.load(Obj);

@@ -22,6 +22,14 @@
 /// tests/test_parallel_bank.cpp for the equivalence proof. In threaded
 /// mode, call flush() before reading any cache's counters.
 ///
+/// Drain-on-cancel: because every batch boundary is a point of the exact
+/// serial stream, cancelling a run (support/Budget.h) needs no special
+/// protocol — the cancellation handler simply stops feeding references and
+/// calls flush() (or setThreads(0), which drains first). The resulting
+/// counters are the serial counters of the reference prefix that was fed,
+/// so a drain checkpoint cut there is consistent, auditable, and resumes
+/// bit-identically.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef GCACHE_MEMSYS_CACHEBANK_H

@@ -1,0 +1,341 @@
+//===- Budget.cpp - Resource budgets and cooperative cancellation ----------===//
+
+#include "gcache/support/Budget.h"
+
+#include "gcache/support/FaultInjector.h"
+#include "gcache/support/Options.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <mutex>
+
+#ifdef __linux__
+#include <unistd.h>
+#endif
+
+using namespace gcache;
+
+const char *gcache::cancelReasonName(CancelReason Reason) {
+  switch (Reason) {
+  case CancelReason::None:
+    return "none";
+  case CancelReason::Deadline:
+    return "deadline";
+  case CancelReason::RefBudget:
+    return "ref-budget";
+  case CancelReason::MemBudget:
+    return "mem-budget";
+  case CancelReason::Signal:
+    return "signal";
+  }
+  return "unknown";
+}
+
+const char *gcache::unitOutcomeName(UnitOutcome Outcome) {
+  switch (Outcome) {
+  case UnitOutcome::Ok:
+    return "ok";
+  case UnitOutcome::PartialDeadline:
+    return "partial-deadline";
+  case UnitOutcome::PartialMem:
+    return "partial-mem";
+  case UnitOutcome::Cancelled:
+    return "cancelled";
+  case UnitOutcome::Failed:
+    return "failed";
+  }
+  return "unknown";
+}
+
+UnitOutcome gcache::unitOutcomeFromName(const std::string &Name) {
+  for (UnitOutcome O : {UnitOutcome::Ok, UnitOutcome::PartialDeadline,
+                        UnitOutcome::PartialMem, UnitOutcome::Cancelled,
+                        UnitOutcome::Failed})
+    if (Name == unitOutcomeName(O))
+      return O;
+  return UnitOutcome::Failed;
+}
+
+UnitOutcome gcache::outcomeForReason(CancelReason Reason) {
+  switch (Reason) {
+  case CancelReason::MemBudget:
+    return UnitOutcome::PartialMem;
+  case CancelReason::None:
+    return UnitOutcome::Ok;
+  case CancelReason::Deadline:
+  case CancelReason::RefBudget:
+  case CancelReason::Signal:
+    // Deadline-like trips: the run ran out of (wall-clock, reference, or
+    // operator) time. The references-as-time view matches the paper's
+    // fundamental time unit.
+    return UnitOutcome::PartialDeadline;
+  }
+  return UnitOutcome::PartialDeadline;
+}
+
+Expected<uint64_t> gcache::parseByteSize(const std::string &Text,
+                                         const std::string &Flag) {
+  auto Malformed = [&](const char *Why) {
+    return Status::failf(StatusCode::InvalidArgument,
+                         "--%s expects a positive byte count with an "
+                         "optional k/m/g suffix, got '%s' (%s)",
+                         Flag.c_str(), Text.c_str(), Why);
+  };
+  if (Text.empty())
+    return Malformed("empty");
+  uint64_t Shift = 0;
+  size_t Digits = Text.size();
+  switch (Text.back()) {
+  case 'k':
+  case 'K':
+    Shift = 10;
+    --Digits;
+    break;
+  case 'm':
+  case 'M':
+    Shift = 20;
+    --Digits;
+    break;
+  case 'g':
+  case 'G':
+    Shift = 30;
+    --Digits;
+    break;
+  default:
+    break;
+  }
+  if (Digits == 0)
+    return Malformed("no digits");
+  uint64_t V = 0;
+  for (size_t I = 0; I != Digits; ++I) {
+    char C = Text[I];
+    if (C < '0' || C > '9')
+      return Malformed("not a number");
+    uint64_t Next = V * 10 + static_cast<uint64_t>(C - '0');
+    if (Next / 10 != V)
+      return Malformed("overflow");
+    V = Next;
+  }
+  if (Shift && V > (~0ull >> Shift))
+    return Malformed("overflow");
+  V <<= Shift;
+  if (V == 0)
+    return Malformed("zero");
+  return V;
+}
+
+Expected<BudgetSpec> gcache::parseBudgetFlags(const Options &O) {
+  BudgetSpec Spec;
+
+  // --deadline: seconds, fractional allowed; must be a positive finite
+  // number when present ("--deadline 0" is a request for nothing).
+  Expected<double> Deadline = O.getStrictDouble("deadline", 0);
+  if (!Deadline.ok())
+    return Deadline.status();
+  if (O.has("deadline") &&
+      (!std::isfinite(*Deadline) || *Deadline <= 0))
+    return Status::failf(StatusCode::InvalidArgument,
+                         "--deadline expects a positive number of seconds, "
+                         "got '%s'",
+                         O.get("deadline", "").c_str());
+  Spec.DeadlineSec = *Deadline;
+
+  // --max-refs: positive integer (u64 — paper-scale runs exceed 2^32 refs).
+  std::string MaxRefs = O.get("max-refs", "");
+  if (!MaxRefs.empty()) {
+    Expected<uint64_t> V = parseByteSize(MaxRefs, "max-refs");
+    if (!V.ok())
+      return V.status();
+    Spec.MaxRefs = *V;
+  }
+
+  // --mem-budget: positive byte count, k/m/g suffixes accepted.
+  std::string MemBudget = O.get("mem-budget", "");
+  if (!MemBudget.empty()) {
+    Expected<uint64_t> V = parseByteSize(MemBudget, "mem-budget");
+    if (!V.ok())
+      return V.status();
+    Spec.MemBudgetBytes = *V;
+  }
+
+  std::string OnBudget = O.get("on-budget", "degrade");
+  if (OnBudget == "degrade")
+    Spec.DegradeOnSoft = true;
+  else if (OnBudget == "stop")
+    Spec.DegradeOnSoft = false;
+  else
+    return Status::failf(StatusCode::InvalidArgument,
+                         "--on-budget expects 'degrade' or 'stop', got '%s'",
+                         OnBudget.c_str());
+  return Spec;
+}
+
+//===----------------------------------------------------------------------===//
+// Degradable registry
+//===----------------------------------------------------------------------===//
+
+namespace {
+struct DegradableRegistry {
+  std::mutex Mu;
+  std::vector<Degradable *> Sinks;
+  std::vector<std::string> Notes;
+};
+DegradableRegistry &degradables() {
+  static DegradableRegistry R;
+  return R;
+}
+} // namespace
+
+Degradable::Degradable() {
+  DegradableRegistry &R = degradables();
+  std::lock_guard<std::mutex> Lock(R.Mu);
+  R.Sinks.push_back(this);
+}
+
+Degradable::~Degradable() {
+  DegradableRegistry &R = degradables();
+  std::lock_guard<std::mutex> Lock(R.Mu);
+  R.Sinks.erase(std::remove(R.Sinks.begin(), R.Sinks.end(), this),
+                R.Sinks.end());
+}
+
+//===----------------------------------------------------------------------===//
+// Budget
+//===----------------------------------------------------------------------===//
+
+void Budget::configure(const BudgetSpec &NewSpec) {
+  Active.store(false, std::memory_order_relaxed);
+  Spec = NewSpec;
+  Start = std::chrono::steady_clock::now();
+  RefsSeen.store(0, std::memory_order_relaxed);
+  DegradePending.store(false, std::memory_order_relaxed);
+  DegradeLevel.store(0, std::memory_order_relaxed);
+  {
+    DegradableRegistry &R = degradables();
+    std::lock_guard<std::mutex> Lock(R.Mu);
+    R.Notes.clear();
+  }
+  cancelToken().reset();
+  Active.store(Spec.any(), std::memory_order_release);
+}
+
+double Budget::elapsedSec() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       Start)
+      .count();
+}
+
+namespace {
+std::mutex ProbeMu;
+std::function<uint64_t()> MemProbe;
+} // namespace
+
+void Budget::setMemoryProbe(std::function<uint64_t()> Probe) {
+  std::lock_guard<std::mutex> Lock(ProbeMu);
+  MemProbe = std::move(Probe);
+}
+
+uint64_t Budget::residentBytes() const {
+  {
+    std::lock_guard<std::mutex> Lock(ProbeMu);
+    if (MemProbe)
+      return MemProbe();
+  }
+#ifdef __linux__
+  if (FILE *F = std::fopen("/proc/self/statm", "rb")) {
+    unsigned long long Total = 0, Resident = 0;
+    int N = std::fscanf(F, "%llu %llu", &Total, &Resident);
+    std::fclose(F);
+    if (N == 2)
+      return Resident * static_cast<uint64_t>(sysconf(_SC_PAGESIZE));
+  }
+#endif
+  return 0;
+}
+
+void Budget::checkMemory() {
+  if (!active() || !Spec.MemBudgetBytes)
+    return;
+  uint64_t R = residentBytes();
+  if (R >= Spec.MemBudgetBytes) {
+    cancelToken().request(CancelReason::MemBudget);
+    return;
+  }
+  if (R < Spec.softBytes())
+    return;
+  // Soft breach. Degrading is only worth one request per applied step; if
+  // we have already degraded many times and memory still will not fall,
+  // stop pretending and drain.
+  if (!Spec.DegradeOnSoft || degradeLevel() >= 16) {
+    cancelToken().request(CancelReason::MemBudget);
+    return;
+  }
+  requestDegrade();
+}
+
+void Budget::checkProgress() {
+  if (!active())
+    return;
+  if (Spec.DeadlineSec > 0 && elapsedSec() >= Spec.DeadlineSec)
+    cancelToken().request(CancelReason::Deadline);
+  if (Spec.MaxRefs && refsSeen() >= Spec.MaxRefs)
+    cancelToken().request(CancelReason::RefBudget);
+}
+
+void Budget::applyPendingDegrade() {
+  if (!DegradePending.exchange(false, std::memory_order_acq_rel))
+    return;
+  DegradeLevel.fetch_add(1, std::memory_order_relaxed);
+  DegradableRegistry &R = degradables();
+  std::lock_guard<std::mutex> Lock(R.Mu);
+  for (Degradable *D : R.Sinks) {
+    std::string Note = D->degrade();
+    if (!Note.empty())
+      R.Notes.push_back(std::move(Note));
+  }
+}
+
+std::vector<std::string> Budget::degradationNotes() const {
+  DegradableRegistry &R = degradables();
+  std::lock_guard<std::mutex> Lock(R.Mu);
+  return R.Notes;
+}
+
+void Budget::injectMemBreach() {
+  // Mirrors checkMemory() on a simulated breach: soft (degrade) while that
+  // is the policy, hard (drain) otherwise.
+  if (Spec.DegradeOnSoft && degradeLevel() < 16)
+    requestDegrade();
+  else
+    cancelToken().request(CancelReason::MemBudget);
+}
+
+CancelToken &gcache::cancelToken() {
+  static CancelToken Token;
+  return Token;
+}
+
+Budget &gcache::processBudget() {
+  static Budget B;
+  return B;
+}
+
+void gcache::pollCancellation(const char *Where) {
+  Budget &B = processBudget();
+  FaultInjector &Fi = faultInjector();
+  // The drain-path fault sites are counted at every cooperative poll (and
+  // only here), so a census run plus an every-occurrence sweep exercises a
+  // trip at each poll boundary deterministically — the watchdog thread
+  // itself is never part of the deterministic story.
+  if (Fi.shouldFire(FaultSite::WatchdogTrip))
+    cancelToken().request(CancelReason::Deadline);
+  if (Fi.shouldFire(FaultSite::BudgetProbe))
+    B.injectMemBreach();
+  B.checkProgress();
+  B.applyPendingDegrade();
+  CancelToken &T = cancelToken();
+  if (T.requested())
+    throwStatus(StatusCode::Cancelled, "%s requested at %s",
+                cancelReasonName(T.reason()), Where);
+}

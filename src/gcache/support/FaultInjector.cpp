@@ -25,6 +25,10 @@ const char *gcache::faultSiteName(FaultSite Site) {
     return "snapshot-write";
   case FaultSite::SnapshotLoad:
     return "snapshot-load";
+  case FaultSite::WatchdogTrip:
+    return "watchdog-trip";
+  case FaultSite::BudgetProbe:
+    return "budget-probe";
   }
   return "unknown";
 }
@@ -67,7 +71,8 @@ Expected<FaultPlan> gcache::parseFaultSpec(const std::string &Spec) {
                          "bad fault spec '%s' (%s); expected "
                          "<site>:<n>[:<seed>] with site one of heap-oom, "
                          "gc-force, trace-write, shard-worker, step-abort, "
-                         "snapshot-write, snapshot-load and n >= 1",
+                         "snapshot-write, snapshot-load, watchdog-trip, "
+                         "budget-probe and n >= 1",
                          Spec.c_str(), Why);
   };
 

@@ -22,6 +22,12 @@
 ///                   Nth call (checkpoint cannot be persisted).
 ///   snapshot-load   SnapshotReader::open fails with IoError on its Nth
 ///                   call (checkpoint cannot be read back).
+///   watchdog-trip   The Nth cooperative cancellation poll behaves as if
+///                   the watchdog had tripped the deadline: the run drains
+///                   to a partial result (support/Budget.h).
+///   budget-probe    The Nth poll simulates a memory-budget breach: soft
+///                   (degrade the analysis sinks) under
+///                   --on-budget=degrade, hard (drain) otherwise.
 ///
 /// A plan is `<site>:<n>[:<seed>]`: without a seed the site fires at
 /// exactly the Nth occurrence (1-based); with a seed it fires at a
@@ -60,8 +66,10 @@ enum class FaultSite : uint8_t {
   StepAbort,
   SnapshotWrite,
   SnapshotLoad,
+  WatchdogTrip,
+  BudgetProbe,
 };
-constexpr unsigned NumFaultSites = 7;
+constexpr unsigned NumFaultSites = 9;
 
 /// Stable spec name of \p Site ("heap-oom", "trace-write", ...).
 const char *faultSiteName(FaultSite Site);

@@ -1,0 +1,44 @@
+//===- SignalGuard.h - SIGTERM/SIGINT drain handling ------------*- C++ -*-===//
+//
+// Part of the gcache project (Reinhold, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Signal-to-drain plumbing: the first SIGTERM or SIGINT trips the
+/// process-wide CancelToken (support/Budget.h) so the run drains to a
+/// partial result at the next cooperative poll — a final checkpoint, an
+/// audit of the drained state, a `partial` stamp in the manifest. A
+/// second signal restores the default disposition and re-raises, i.e.
+/// immediate termination for an operator who has stopped waiting.
+///
+/// The handler is async-signal-safe: it performs one lock-free CAS on the
+/// token and one write(2) to stderr, nothing else.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCACHE_SUPPORT_SIGNALGUARD_H
+#define GCACHE_SUPPORT_SIGNALGUARD_H
+
+#include <cstdint>
+
+namespace gcache {
+namespace SignalGuard {
+
+/// Installs the SIGTERM/SIGINT drain handlers (idempotent). The supervised
+/// runner installs them before forking, so both the supervisor parent
+/// (which forwards the drain request to its child) and the child (which
+/// drains) see the same token discipline.
+void install();
+
+/// Restores the dispositions saved by install() (tests).
+void uninstall();
+
+/// Drain-requesting signals received since install() (tests; resets on
+/// install).
+uint64_t signalsSeen();
+
+} // namespace SignalGuard
+} // namespace gcache
+
+#endif // GCACHE_SUPPORT_SIGNALGUARD_H

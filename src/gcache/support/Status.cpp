@@ -39,6 +39,8 @@ const char *gcache::statusCodeName(StatusCode Code) {
     return "divergence";
   case StatusCode::AuditFailure:
     return "audit-failure";
+  case StatusCode::Cancelled:
+    return "cancelled";
   }
   return "unknown";
 }

@@ -53,6 +53,8 @@ enum class StatusCode : uint8_t {
   Truncated,       ///< On-disk data ends early (torn or interrupted write).
   Divergence,      ///< Shadow-oracle cross-check mismatch (--crosscheck).
   AuditFailure,    ///< Conservation-law audit violation (--audit).
+  Cancelled,       ///< Cooperative cancellation (deadline, budget, signal);
+                   ///< the unit drains to a partial result, not a failure.
 };
 
 /// Stable lower-case name of \p Code ("out-of-memory", "io-error", ...).

@@ -1,0 +1,57 @@
+//===- Watchdog.cpp - Budget monitor thread ---------------------------------===//
+
+#include "gcache/support/Watchdog.h"
+
+#include "gcache/support/Budget.h"
+
+#include <chrono>
+
+using namespace gcache;
+
+void Watchdog::start() {
+  if (Thread.joinable())
+    return;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    StopRequested = false;
+  }
+  Thread = std::thread([this] { run(); });
+}
+
+void Watchdog::stop() {
+  if (!Thread.joinable())
+    return;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    StopRequested = true;
+  }
+  Cv.notify_all();
+  Thread.join();
+}
+
+uint64_t Watchdog::ticks() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Ticks;
+}
+
+void Watchdog::run() {
+  std::unique_lock<std::mutex> Lock(Mu);
+  for (;;) {
+    if (Cv.wait_for(Lock, std::chrono::milliseconds(PeriodMs),
+                    [this] { return StopRequested; }))
+      return;
+    ++Ticks;
+    Lock.unlock();
+    Budget &B = processBudget();
+    // Cheap limits first (deadline backstop for non-polling stretches),
+    // then the /proc-backed memory thresholds.
+    B.checkProgress();
+    B.checkMemory();
+    Lock.lock();
+  }
+}
+
+Watchdog &gcache::processWatchdog() {
+  static Watchdog W;
+  return W;
+}

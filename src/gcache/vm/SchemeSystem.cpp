@@ -73,33 +73,48 @@ Value SchemeSystem::run(const std::string &Source) {
   uint64_t Bytes0 = TheHeap->dynamicBytesAllocated();
   GcStats Gc0 = TheCollector->stats();
 
+  FormsTotal = Ids.size();
+  FormsCompleted = 0;
+
+  // Finalized on every exit path — including a cooperative-cancellation
+  // unwind — so lastRunStats() always describes the completed prefix and
+  // tracing never leaks into post-run bookkeeping.
+  auto Finalize = [&] {
+    TheHeap->setTracing(false);
+    // Free-list search work (non-linear allocators) is mutator work the
+    // collector choice induced: fold it into both counters, like barriers.
+    uint64_t AllocExtra = TheCollector->mutatorAllocInstructions() - Alloc0;
+    LastRun.Instructions = TheVM->instructions() - Instr0 + AllocExtra;
+    LastRun.ExtraInstructions =
+        TheVM->extraInstructions() - Extra0 + AllocExtra;
+    LastRun.DynamicBytes = TheHeap->dynamicBytesAllocated() - Bytes0;
+    const GcStats &Gc1 = TheCollector->stats();
+    LastRun.Gc.Collections = Gc1.Collections - Gc0.Collections;
+    LastRun.Gc.MajorCollections = Gc1.MajorCollections - Gc0.MajorCollections;
+    LastRun.Gc.ObjectsCopied = Gc1.ObjectsCopied - Gc0.ObjectsCopied;
+    LastRun.Gc.WordsCopied = Gc1.WordsCopied - Gc0.WordsCopied;
+    LastRun.Gc.Instructions = Gc1.Instructions - Gc0.Instructions;
+  };
+
   Value Result = Value::unspecified();
   FaultInjector &Fi = faultInjector();
-  for (uint32_t Id : Ids) {
-    // step-abort fault site: one hit per toplevel form of the measured run.
-    if (Fi.shouldFire(FaultSite::StepAbort))
-      throw StatusError(Status::failf(
-          StatusCode::Aborted,
-          "injected workload-step abort before toplevel form %u (site %s)", Id,
-          faultSiteName(FaultSite::StepAbort)));
-    Result = TheVM->executeCode(Id);
+  try {
+    for (uint32_t Id : Ids) {
+      // step-abort fault site: one hit per toplevel form of the measured
+      // run.
+      if (Fi.shouldFire(FaultSite::StepAbort))
+        throw StatusError(Status::failf(
+            StatusCode::Aborted,
+            "injected workload-step abort before toplevel form %u (site %s)",
+            Id, faultSiteName(FaultSite::StepAbort)));
+      Result = TheVM->executeCode(Id);
+      ++FormsCompleted;
+    }
+  } catch (...) {
+    Finalize();
+    throw;
   }
 
-  TheHeap->setTracing(false);
-
-  // Free-list search work (non-linear allocators) is mutator work the
-  // collector choice induced: fold it into both counters, like barriers.
-  uint64_t AllocExtra =
-      TheCollector->mutatorAllocInstructions() - Alloc0;
-  LastRun.Instructions = TheVM->instructions() - Instr0 + AllocExtra;
-  LastRun.ExtraInstructions =
-      TheVM->extraInstructions() - Extra0 + AllocExtra;
-  LastRun.DynamicBytes = TheHeap->dynamicBytesAllocated() - Bytes0;
-  const GcStats &Gc1 = TheCollector->stats();
-  LastRun.Gc.Collections = Gc1.Collections - Gc0.Collections;
-  LastRun.Gc.MajorCollections = Gc1.MajorCollections - Gc0.MajorCollections;
-  LastRun.Gc.ObjectsCopied = Gc1.ObjectsCopied - Gc0.ObjectsCopied;
-  LastRun.Gc.WordsCopied = Gc1.WordsCopied - Gc0.WordsCopied;
-  LastRun.Gc.Instructions = Gc1.Instructions - Gc0.Instructions;
+  Finalize();
   return Result;
 }

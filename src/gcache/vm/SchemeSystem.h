@@ -87,12 +87,22 @@ public:
 
   const RunStats &lastRunStats() const { return LastRun; }
 
+  /// Fraction of the last run's top-level forms that completed, in
+  /// [0, 1]; negative before any run. After a cooperative cancellation
+  /// unwinds run(), lastRunStats() still holds the completed prefix's
+  /// statistics and this reports how much of the workload they cover.
+  double lastRunCoverage() const {
+    return FormsTotal ? double(FormsCompleted) / double(FormsTotal) : -1.0;
+  }
+
 private:
   SchemeSystemConfig Config;
   std::unique_ptr<Heap> TheHeap;
   std::unique_ptr<VM> TheVM;
   std::unique_ptr<Collector> TheCollector;
   RunStats LastRun;
+  uint64_t FormsCompleted = 0;
+  uint64_t FormsTotal = 0;
 };
 
 } // namespace gcache

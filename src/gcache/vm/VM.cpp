@@ -2,6 +2,7 @@
 
 #include "gcache/vm/VM.h"
 
+#include "gcache/support/Budget.h"
 #include "gcache/vm/Sexpr.h"
 
 #include <cstdarg>
@@ -467,8 +468,14 @@ Value VM::execute(Value Thunk) {
 Value VM::applyProcedure(uint32_t Argc) {
   size_t Base = Frames.size();
   enterCall(Argc, /*Tail=*/false);
-  while (Frames.size() > Base)
+  while (Frames.size() > Base) {
     step();
+    // Cooperative cancellation: a bytecode boundary is a safe point (no
+    // half-dispatched reference anywhere), and every few thousand
+    // bytecodes is far below a millisecond of drain latency.
+    if ((++CancelPollTick & 0x3fff) == 0)
+      pollCancellation("vm-step");
+  }
   return pop();
 }
 

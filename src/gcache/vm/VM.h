@@ -316,6 +316,9 @@ private:
   uint64_t Instructions = 0;
   uint64_t ExtraInstructions = 0;
   uint64_t Calls = 0;
+  /// Bytecodes since the interpreter loop last polled the cancel token
+  /// (support/Budget.h); shared across nested applyProcedure frames.
+  uint64_t CancelPollTick = 0;
   uint64_t GensymCounter = 0;
   std::string Output;
 

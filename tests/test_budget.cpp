@@ -1,0 +1,763 @@
+//===- test_budget.cpp - Resource governance tests ------------------------===//
+//
+// The correctness harness for the budget layer (support/Budget.h and
+// friends): flag parsing with env fallback, the cancel-token discipline,
+// watchdog and signal trips, graceful degradation of the analysis sinks,
+// and — the headline guarantee — that a run drained mid-flight by a
+// deadline, signal, or injected watchdog trip leaves an auditable
+// checkpoint from which a resume finishes bit-identical to an
+// uninterrupted run, serially and threaded. The supervisor's graceful
+// timeout (SIGTERM, grace window, partial attribution) is driven through
+// real forks.
+//
+//===----------------------------------------------------------------------===//
+
+#include "../bench/BenchCommon.h"
+
+#include "gcache/analysis/BlockTracker.h"
+#include "gcache/analysis/MissPlot.h"
+#include "gcache/core/Checkpoint.h"
+#include "gcache/core/Supervisor.h"
+#include "gcache/memsys/CacheBank.h"
+#include "gcache/support/Budget.h"
+#include "gcache/support/FaultInjector.h"
+#include "gcache/support/Options.h"
+#include "gcache/support/SignalGuard.h"
+#include "gcache/support/Snapshot.h"
+#include "gcache/support/Watchdog.h"
+#include "gcache/trace/TraceFile.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <sys/stat.h>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+using namespace gcache;
+
+namespace {
+
+/// Every test in this binary touches process-wide governance state; this
+/// guard restores a clean slate on entry and exit.
+struct GovernanceReset {
+  GovernanceReset() { resetAll(); }
+  ~GovernanceReset() { resetAll(); }
+  static void resetAll() {
+    processBudget().setMemoryProbe(nullptr);
+    processBudget().reset(); // also re-arms the cancel token
+    faultInjector().disarm();
+    SignalGuard::uninstall();
+    checkpointContext() = CheckpointContext();
+  }
+};
+
+Options optionsFrom(std::vector<const char *> Flags) {
+  std::vector<const char *> Argv = {"bench"};
+  Argv.insert(Argv.end(), Flags.begin(), Flags.end());
+  return Options::parse(static_cast<int>(Argv.size()),
+                        const_cast<char **>(Argv.data()));
+}
+
+Ref load(Address A) { return {A, AccessKind::Load, Phase::Mutator}; }
+
+std::string readWholeFile(const std::string &Path) {
+  FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F)
+    return std::string();
+  std::string Data;
+  char Buf[4096];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Data.append(Buf, N);
+  std::fclose(F);
+  return Data;
+}
+
+/// Records one small collected nbody run once, shared by the drain tests.
+/// ctest runs every test of this binary as its own process, so concurrent
+/// tests race to record the shared path; each process records under a
+/// pid-unique name and renames it into place (atomic, and the recording
+/// is deterministic, so whichever process wins leaves the identical file).
+const std::string &recordedTracePath() {
+  static const std::string Path = [] {
+    std::string P = std::string(::testing::TempDir()) + "/budget_nbody.gct";
+    std::string Mine = P + "." + std::to_string(::getpid());
+    TraceWriter W;
+    EXPECT_TRUE(W.open(Mine).ok());
+    ExperimentOptions O;
+    O.Scale = 0.05;
+    O.Gc = GcKind::Cheney;
+    O.SemispaceBytes = 512 << 10;
+    O.Grid = CacheGridKind::None;
+    O.ExtraSinks = {&W};
+    ProgramRun Run = runProgram(nbodyWorkload(), O);
+    EXPECT_GT(Run.Collections, 0u) << "trace must contain GC phases";
+    EXPECT_TRUE(W.close().ok());
+    EXPECT_EQ(std::rename(Mine.c_str(), P.c_str()), 0);
+    return P;
+  }();
+  return Path;
+}
+
+void addSmallBank(CacheBank &Bank) {
+  CacheConfig A;
+  A.SizeBytes = 16 << 10;
+  A.BlockBytes = 32;
+  A.TrackPerBlockStats = true;
+  Bank.addConfig(A);
+  CacheConfig B; // defaults: 64K / 64B
+  Bank.addConfig(B);
+}
+
+void expectCountersEqual(const CacheCounters &S, const CacheCounters &P,
+                         const std::string &Where) {
+  EXPECT_EQ(S.Loads, P.Loads) << Where;
+  EXPECT_EQ(S.Stores, P.Stores) << Where;
+  EXPECT_EQ(S.FetchMisses, P.FetchMisses) << Where;
+  EXPECT_EQ(S.NoFetchMisses, P.NoFetchMisses) << Where;
+  EXPECT_EQ(S.Writebacks, P.Writebacks) << Where;
+  EXPECT_EQ(S.WriteThroughs, P.WriteThroughs) << Where;
+}
+
+void expectBanksEqual(const CacheBank &Want, const CacheBank &Got) {
+  ASSERT_EQ(Want.size(), Got.size());
+  for (size_t I = 0; I != Want.size(); ++I) {
+    const Cache &S = Want.cache(I);
+    const Cache &P = Got.cache(I);
+    std::string Where = S.config().label();
+    expectCountersEqual(S.counters(Phase::Mutator), P.counters(Phase::Mutator),
+                        Where + " (mutator)");
+    expectCountersEqual(S.counters(Phase::Collector),
+                        P.counters(Phase::Collector), Where + " (collector)");
+    EXPECT_EQ(S.perBlockRefs(), P.perBlockRefs()) << Where;
+    EXPECT_EQ(S.perBlockMisses(), P.perBlockMisses()) << Where;
+  }
+}
+
+void expectSinksEqual(const CountingSink &Want, const CountingSink &Got) {
+  EXPECT_EQ(Want.totalRefs(), Got.totalRefs());
+  EXPECT_EQ(Want.mutatorRefs(), Got.mutatorRefs());
+  EXPECT_EQ(Want.allocatedBytes(), Got.allocatedBytes());
+  EXPECT_EQ(Want.collections(), Got.collections());
+}
+
+/// Runs the uninterrupted reference replay once.
+void cleanReplay(CacheBank &Bank, CountingSink &Counts) {
+  addSmallBank(Bank);
+  Expected<ReplayCheckpointResult> R =
+      replayTraceCheckpointed(recordedTracePath(), Bank, Counts, {});
+  ASSERT_TRUE(R.ok()) << R.status().message();
+  ASSERT_GT(R->RecordsReplayed, 0u);
+}
+
+/// Resumes the drained replay in fresh objects and checks the final state
+/// against the clean run.
+void resumeAndCompare(const std::string &Snap, unsigned Threads,
+                      const CacheBank &CleanBank,
+                      const CountingSink &CleanCounts) {
+  cancelToken().reset();
+  CacheBank Bank;
+  addSmallBank(Bank);
+  if (Threads)
+    Bank.setThreads(Threads, /*BatchRefs=*/1024);
+  CountingSink Counts;
+  ReplayCheckpointOptions Opts;
+  Opts.SnapshotPath = Snap;
+  Opts.EveryRefs = 50000;
+  Opts.Resume = true;
+  Opts.Audit = true;
+  Expected<ReplayCheckpointResult> R =
+      replayTraceCheckpointed(recordedTracePath(), Bank, Counts, Opts);
+  ASSERT_TRUE(R.ok()) << R.status().message();
+  EXPECT_FALSE(R->partial());
+  EXPECT_TRUE(R->Resumed);
+  EXPECT_DOUBLE_EQ(R->Coverage, 1.0);
+  expectBanksEqual(CleanBank, Bank);
+  expectSinksEqual(CleanCounts, Counts);
+}
+
+std::string freshDir(const char *Name) {
+  std::string Dir = std::string(::testing::TempDir()) + "/" + Name;
+  mkdir(Dir.c_str(), 0755);
+  std::remove((Dir + "/manifest.json").c_str());
+  std::remove((Dir + "/outcomes.list").c_str());
+  return Dir;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Token, names, and flag parsing
+//===----------------------------------------------------------------------===//
+
+TEST(CancelToken, FirstReasonWinsAndResets) {
+  GovernanceReset Guard;
+  CancelToken T;
+  EXPECT_FALSE(T.requested());
+  EXPECT_TRUE(T.request(CancelReason::Deadline));
+  EXPECT_FALSE(T.request(CancelReason::Signal)) << "second trip must lose";
+  EXPECT_EQ(T.reason(), CancelReason::Deadline);
+  T.reset();
+  EXPECT_FALSE(T.requested());
+  EXPECT_TRUE(T.request(CancelReason::Signal));
+  EXPECT_EQ(T.reason(), CancelReason::Signal);
+}
+
+TEST(Outcomes, NamesRoundTripAndUnknownIsFailed) {
+  for (UnitOutcome O : {UnitOutcome::Ok, UnitOutcome::PartialDeadline,
+                        UnitOutcome::PartialMem, UnitOutcome::Cancelled,
+                        UnitOutcome::Failed})
+    EXPECT_EQ(unitOutcomeFromName(unitOutcomeName(O)), O);
+  EXPECT_EQ(unitOutcomeFromName("no-such-outcome"), UnitOutcome::Failed);
+
+  EXPECT_EQ(outcomeForReason(CancelReason::Deadline),
+            UnitOutcome::PartialDeadline);
+  EXPECT_EQ(outcomeForReason(CancelReason::RefBudget),
+            UnitOutcome::PartialDeadline);
+  EXPECT_EQ(outcomeForReason(CancelReason::Signal),
+            UnitOutcome::PartialDeadline);
+  EXPECT_EQ(outcomeForReason(CancelReason::MemBudget), UnitOutcome::PartialMem);
+  EXPECT_EQ(outcomeForReason(CancelReason::None), UnitOutcome::Ok);
+}
+
+TEST(BudgetFlags, ParseByteSizeAcceptsSuffixesRejectsGarbage) {
+  EXPECT_EQ(*parseByteSize("512", "x"), 512u);
+  EXPECT_EQ(*parseByteSize("64k", "x"), 64u << 10);
+  EXPECT_EQ(*parseByteSize("3M", "x"), 3ull << 20);
+  EXPECT_EQ(*parseByteSize("2g", "x"), 2ull << 30);
+  for (const char *Bad : {"", "k", "0", "0k", "-5", "12q", "abc",
+                          "99999999999999999999", "20000000000g"}) {
+    Expected<uint64_t> V = parseByteSize(Bad, "mem-budget");
+    ASSERT_FALSE(V.ok()) << Bad;
+    EXPECT_EQ(V.status().code(), StatusCode::InvalidArgument) << Bad;
+    EXPECT_NE(V.status().message().find("mem-budget"), std::string::npos)
+        << "diagnostic must name the flag";
+  }
+}
+
+TEST(BudgetFlags, ParsesAllFourFlags) {
+  Options O = optionsFrom({"--deadline=0.25", "--max-refs=2m",
+                           "--mem-budget=64k", "--on-budget=stop"});
+  Expected<BudgetSpec> S = parseBudgetFlags(O);
+  ASSERT_TRUE(S.ok()) << S.status().message();
+  EXPECT_DOUBLE_EQ(S->DeadlineSec, 0.25);
+  EXPECT_EQ(S->MaxRefs, 2ull << 20);
+  EXPECT_EQ(S->MemBudgetBytes, 64u << 10);
+  EXPECT_FALSE(S->DegradeOnSoft);
+  EXPECT_TRUE(S->any());
+  // Soft threshold defaults to 80% of the hard budget.
+  EXPECT_EQ(S->softBytes(), (64u << 10) - (64u << 10) / 5);
+
+  EXPECT_FALSE(parseBudgetFlags(optionsFrom({})).take().any());
+}
+
+TEST(BudgetFlags, RejectsNonPositiveMalformedAndUnknownPolicy) {
+  for (std::vector<const char *> Bad :
+       {std::vector<const char *>{"--deadline=0"},
+        std::vector<const char *>{"--deadline=-1"},
+        std::vector<const char *>{"--deadline=abc"},
+        std::vector<const char *>{"--max-refs=0"},
+        std::vector<const char *>{"--max-refs=1x"},
+        std::vector<const char *>{"--mem-budget=-64k"},
+        std::vector<const char *>{"--on-budget=panic"}}) {
+    Expected<BudgetSpec> S = parseBudgetFlags(optionsFrom(Bad));
+    ASSERT_FALSE(S.ok()) << Bad[0];
+    EXPECT_EQ(S.status().code(), StatusCode::InvalidArgument) << Bad[0];
+  }
+}
+
+TEST(BudgetFlags, EnvFallbackAndFlagPrecedence) {
+  setenv("GCACHE_DEADLINE", "2.5", 1);
+  setenv("GCACHE_MAX_REFS", "4k", 1);
+  Expected<BudgetSpec> FromEnv = parseBudgetFlags(optionsFrom({}));
+  ASSERT_TRUE(FromEnv.ok()) << FromEnv.status().message();
+  EXPECT_DOUBLE_EQ(FromEnv->DeadlineSec, 2.5);
+  EXPECT_EQ(FromEnv->MaxRefs, 4096u);
+
+  // An explicit flag beats the environment.
+  Expected<BudgetSpec> FromFlag =
+      parseBudgetFlags(optionsFrom({"--deadline=1.5"}));
+  ASSERT_TRUE(FromFlag.ok());
+  EXPECT_DOUBLE_EQ(FromFlag->DeadlineSec, 1.5);
+
+  // A malformed env value is a hard error, same as a malformed flag.
+  setenv("GCACHE_MAX_REFS", "0", 1);
+  Expected<BudgetSpec> BadEnv = parseBudgetFlags(optionsFrom({}));
+  ASSERT_FALSE(BadEnv.ok());
+  EXPECT_EQ(BadEnv.status().code(), StatusCode::InvalidArgument);
+
+  unsetenv("GCACHE_DEADLINE");
+  unsetenv("GCACHE_MAX_REFS");
+}
+
+TEST(BudgetFlagsDeath, BenchBinariesExitTwoOnBadBudgetFlags) {
+  GovernanceReset Guard;
+  testing::FLAGS_gtest_death_test_style = "threadsafe";
+  auto Run = [](std::vector<const char *> Flags) {
+    Flags.insert(Flags.begin(), "bench");
+    parseBenchArgs(static_cast<int>(Flags.size()),
+                   const_cast<char **>(Flags.data()));
+  };
+  EXPECT_EXIT(Run({"--deadline=-1"}), testing::ExitedWithCode(2), "deadline");
+  EXPECT_EXIT(Run({"--max-refs=0"}), testing::ExitedWithCode(2), "max-refs");
+  EXPECT_EXIT(Run({"--mem-budget=abc"}), testing::ExitedWithCode(2),
+              "mem-budget");
+  EXPECT_EXIT(Run({"--on-budget=panic"}), testing::ExitedWithCode(2),
+              "on-budget");
+}
+
+//===----------------------------------------------------------------------===//
+// Poll sites, watchdog, and memory budgets
+//===----------------------------------------------------------------------===//
+
+TEST(Poll, ThrowsCancelledNamingReasonAndSite) {
+  GovernanceReset Guard;
+  EXPECT_NO_THROW(pollCancellation("unit-test"));
+  cancelToken().request(CancelReason::Signal);
+  try {
+    pollCancellation("unit-test");
+    FAIL() << "tripped token must throw";
+  } catch (const StatusError &E) {
+    EXPECT_EQ(E.status().code(), StatusCode::Cancelled);
+    EXPECT_NE(E.status().message().find("signal"), std::string::npos);
+    EXPECT_NE(E.status().message().find("unit-test"), std::string::npos);
+  }
+}
+
+TEST(Poll, RefBudgetTripsOnceConsumed) {
+  GovernanceReset Guard;
+  BudgetSpec Spec;
+  Spec.MaxRefs = 100;
+  processBudget().configure(Spec);
+  EXPECT_NO_THROW(pollCancellation("refs"));
+  processBudget().noteRefs(100);
+  EXPECT_THROW(pollCancellation("refs"), StatusError);
+  EXPECT_EQ(cancelToken().reason(), CancelReason::RefBudget);
+}
+
+TEST(Watchdog, TripsDeadlineFromMonitorThread) {
+  GovernanceReset Guard;
+  BudgetSpec Spec;
+  Spec.DeadlineSec = 0.05;
+  processBudget().configure(Spec);
+  Watchdog W(/*PeriodMs=*/5);
+  W.start();
+  W.start(); // idempotent
+  EXPECT_TRUE(W.running());
+  auto Give = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (!cancelToken().requested() && std::chrono::steady_clock::now() < Give)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_TRUE(cancelToken().requested()) << "watchdog never tripped";
+  EXPECT_EQ(cancelToken().reason(), CancelReason::Deadline);
+  EXPECT_GT(W.ticks(), 0u);
+  W.stop();
+  W.stop(); // idempotent
+  EXPECT_FALSE(W.running());
+}
+
+namespace {
+struct CountingDegradable final : Degradable {
+  int Calls = 0;
+  std::string degrade() override {
+    ++Calls;
+    return "counting-sink degraded";
+  }
+};
+} // namespace
+
+TEST(MemoryBudget, SoftBreachDegradesHardBreachDrains) {
+  GovernanceReset Guard;
+  CountingDegradable Sink;
+  BudgetSpec Spec;
+  Spec.MemBudgetBytes = 1000; // soft threshold: 800
+  processBudget().configure(Spec);
+  uint64_t Resident = 500;
+  processBudget().setMemoryProbe([&Resident] { return Resident; });
+
+  processBudget().checkMemory();
+  EXPECT_NO_THROW(pollCancellation("mem"));
+  EXPECT_EQ(Sink.Calls, 0);
+
+  // Soft breach: degrade at the next mutator poll, no cancellation.
+  Resident = 900;
+  processBudget().checkMemory();
+  EXPECT_FALSE(cancelToken().requested());
+  EXPECT_NO_THROW(pollCancellation("mem"));
+  EXPECT_EQ(Sink.Calls, 1);
+  EXPECT_EQ(processBudget().degradeLevel(), 1u);
+  std::vector<std::string> Notes = processBudget().degradationNotes();
+  ASSERT_EQ(Notes.size(), 1u);
+  EXPECT_EQ(Notes[0], "counting-sink degraded");
+
+  // Hard breach: the token trips with the memory reason.
+  Resident = 1200;
+  processBudget().checkMemory();
+  EXPECT_TRUE(cancelToken().requested());
+  EXPECT_EQ(cancelToken().reason(), CancelReason::MemBudget);
+  EXPECT_EQ(outcomeForReason(cancelToken().reason()), UnitOutcome::PartialMem);
+  EXPECT_THROW(pollCancellation("mem"), StatusError);
+}
+
+TEST(MemoryBudget, OnBudgetStopSkipsDegradation) {
+  GovernanceReset Guard;
+  CountingDegradable Sink;
+  BudgetSpec Spec;
+  Spec.MemBudgetBytes = 1000;
+  Spec.DegradeOnSoft = false; // --on-budget=stop
+  processBudget().configure(Spec);
+  processBudget().setMemoryProbe([] { return uint64_t(900); });
+  processBudget().checkMemory();
+  EXPECT_TRUE(cancelToken().requested());
+  EXPECT_EQ(cancelToken().reason(), CancelReason::MemBudget);
+  EXPECT_EQ(Sink.Calls, 0);
+}
+
+//===----------------------------------------------------------------------===//
+// Drain-and-resume equivalence
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Drains a checkpointed replay via the watchdog-trip fault site at its
+/// Nth poll, audits the drained state, then resumes in fresh objects and
+/// checks bit-identity with the clean run.
+void drainAtPollAndResume(uint64_t Nth, unsigned Threads,
+                          const CacheBank &CleanBank,
+                          const CountingSink &CleanCounts) {
+  SCOPED_TRACE("watchdog-trip at poll " + std::to_string(Nth) +
+               (Threads ? ", threads=" + std::to_string(Threads) : ""));
+  std::string Snap = std::string(::testing::TempDir()) + "/budget_drain.snap";
+  std::remove(Snap.c_str());
+  faultInjector().arm({FaultSite::WatchdogTrip, Nth, 0});
+  cancelToken().reset();
+
+  ReplayCheckpointOptions Opts;
+  Opts.SnapshotPath = Snap;
+  Opts.EveryRefs = 50000;
+  Opts.Audit = true;
+  {
+    CacheBank Bank;
+    addSmallBank(Bank);
+    if (Threads)
+      Bank.setThreads(Threads, /*BatchRefs=*/1024);
+    CountingSink Counts;
+    Expected<ReplayCheckpointResult> R =
+        replayTraceCheckpointed(recordedTracePath(), Bank, Counts, Opts);
+    ASSERT_TRUE(R.ok()) << R.status().message();
+    ASSERT_TRUE(R->partial());
+    EXPECT_EQ(R->Outcome, UnitOutcome::PartialDeadline);
+    EXPECT_NE(R->OutcomeNote.find("replay"), std::string::npos)
+        << "note must name the poll site";
+    EXPECT_GE(R->Coverage, 0.0);
+    EXPECT_LT(R->Coverage, 1.0);
+  }
+
+  // The "restarted process": injector disarmed (the snapshot carries the
+  // plan and its counters, so the already-fired occurrence never refires).
+  faultInjector().disarm();
+  resumeAndCompare(Snap, Threads, CleanBank, CleanCounts);
+  std::remove(Snap.c_str());
+}
+
+} // namespace
+
+// The acceptance guarantee: a deadline-style trip at various poll sites
+// drains to an auditable checkpoint, and resuming finishes bit-identical
+// to the uninterrupted replay — serially and with shard workers.
+TEST(BudgetDrain, DrainedReplayResumesBitIdentical) {
+  GovernanceReset Guard;
+  CacheBank CleanBank;
+  CountingSink CleanCounts;
+  cleanReplay(CleanBank, CleanCounts);
+
+  for (uint64_t Nth : {uint64_t(1), uint64_t(2), uint64_t(7), uint64_t(23)})
+    drainAtPollAndResume(Nth, /*Threads=*/0, CleanBank, CleanCounts);
+  for (uint64_t Nth : {uint64_t(2), uint64_t(11)})
+    drainAtPollAndResume(Nth, /*Threads=*/4, CleanBank, CleanCounts);
+}
+
+// A real SIGTERM (through the installed handler) requests the same drain:
+// partial result attributed to the signal, resumable to bit-identity.
+TEST(BudgetDrain, SigtermDrainsAndResumesBitIdentical) {
+  GovernanceReset Guard;
+  CacheBank CleanBank;
+  CountingSink CleanCounts;
+  cleanReplay(CleanBank, CleanCounts);
+
+  std::string Snap = std::string(::testing::TempDir()) + "/sigterm_drain.snap";
+  std::remove(Snap.c_str());
+  SignalGuard::install();
+  ASSERT_EQ(std::raise(SIGTERM), 0);
+  EXPECT_EQ(SignalGuard::signalsSeen(), 1u);
+  ASSERT_TRUE(cancelToken().requested());
+  EXPECT_EQ(cancelToken().reason(), CancelReason::Signal);
+
+  ReplayCheckpointOptions Opts;
+  Opts.SnapshotPath = Snap;
+  Opts.EveryRefs = 50000;
+  Opts.Audit = true;
+  {
+    CacheBank Bank;
+    addSmallBank(Bank);
+    CountingSink Counts;
+    Expected<ReplayCheckpointResult> R =
+        replayTraceCheckpointed(recordedTracePath(), Bank, Counts, Opts);
+    ASSERT_TRUE(R.ok()) << R.status().message();
+    ASSERT_TRUE(R->partial());
+    EXPECT_EQ(R->Outcome, UnitOutcome::PartialDeadline);
+    EXPECT_NE(R->OutcomeNote.find("signal"), std::string::npos);
+  }
+  SignalGuard::uninstall();
+  resumeAndCompare(Snap, /*Threads=*/0, CleanBank, CleanCounts);
+  std::remove(Snap.c_str());
+}
+
+// The full experiment path: a reference budget trips mid-run and the
+// program run comes back partial (not failed), with coverage below 1.
+TEST(BudgetDrain, ExperimentDrainsToPartialProgramRun) {
+  GovernanceReset Guard;
+  BudgetSpec Spec;
+  Spec.MaxRefs = 50000;
+  processBudget().configure(Spec);
+
+  ExperimentOptions O;
+  O.Scale = 0.05;
+  O.Grid = CacheGridKind::None;
+  ProgramRun Run = runProgram(nbodyWorkload(), O);
+  EXPECT_TRUE(Run.partial());
+  EXPECT_EQ(Run.Outcome, UnitOutcome::PartialDeadline);
+  EXPECT_FALSE(Run.OutcomeNote.empty());
+  EXPECT_LT(Run.Coverage, 1.0);
+}
+
+// Partial outcome fields survive the unit-snapshot round trip, so a
+// resumed sweep can tell a drain marker from a finished unit.
+TEST(BudgetDrain, PartialOutcomeRoundTripsThroughUnitSnapshot) {
+  GovernanceReset Guard;
+  std::string Path = std::string(::testing::TempDir()) + "/partial_unit.snap";
+  ExperimentOptions O;
+  O.Scale = 0.05;
+  O.Grid = CacheGridKind::SizeSweep;
+  ProgramRun Run = runProgram(nbodyWorkload(), O);
+  ASSERT_FALSE(Run.partial());
+  Run.Outcome = UnitOutcome::PartialDeadline;
+  Run.OutcomeNote = "deadline requested at vm-step";
+  Run.Coverage = 0.375;
+  Run.Degraded = true;
+  Run.DegradeNote = "block-tracker: sampling 1 in 16";
+  ASSERT_TRUE(saveUnitSnapshot(Path, Run, O.Scale).ok());
+
+  Expected<ProgramRun> Loaded = loadUnitSnapshot(Path, Run.Name, O.Scale);
+  ASSERT_TRUE(Loaded.ok()) << Loaded.status().message();
+  EXPECT_TRUE(Loaded->partial());
+  EXPECT_EQ(Loaded->Outcome, UnitOutcome::PartialDeadline);
+  EXPECT_EQ(Loaded->OutcomeNote, Run.OutcomeNote);
+  EXPECT_DOUBLE_EQ(Loaded->Coverage, 0.375);
+  EXPECT_TRUE(Loaded->Degraded);
+  EXPECT_EQ(Loaded->DegradeNote, Run.DegradeNote);
+  std::remove(Path.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// Degradation of the analysis sinks
+//===----------------------------------------------------------------------===//
+
+TEST(MissPlotDegrade, CoarsensTimeAxisAndAdoptsItOnLoad) {
+  GovernanceReset Guard;
+  CacheConfig Config{.SizeBytes = 1024, .BlockBytes = 64};
+  MissPlot P(Config, /*RefsPerColumn=*/4);
+  constexpr Address Base = 0x20000000; // cache-aligned
+  P.onRef(load(Base)); // miss: column 0, block 0
+  P.onRef(load(Base));
+  P.onRef(load(Base));
+  P.onRef(load(Base));
+  P.onRef(load(Base + 1024)); // conflict miss: column 1, block 0
+  P.onRef(load(Base + 64));   // miss: column 1, block 1
+  ASSERT_EQ(P.columns(), 2u);
+
+  std::string Note = P.degrade();
+  EXPECT_FALSE(Note.empty());
+  EXPECT_TRUE(P.degraded());
+  EXPECT_EQ(P.refsPerColumn(), 8u);
+  // The plot laws survive: merged cells keep their marks, and columns
+  // never exceed ceil(refs/refsPerColumn) (they materialize on misses).
+  EXPECT_EQ(P.columns(), (P.refsSeen() + 7) / 8);
+  EXPECT_TRUE(P.missedAt(0, 0));
+  EXPECT_TRUE(P.missedAt(0, 1));
+
+  // Accumulation continues on the coarser axis: pad into the second
+  // 8-ref column, then force a conflict miss there.
+  for (int I = 0; I != 4; ++I)
+    P.onRef(load(Base));
+  P.onRef(load(Base + 2048)); // ref index 10 → coarse column 1
+  EXPECT_EQ(P.columns(), 2u);
+  EXPECT_TRUE(P.missedAt(1, 0));
+  EXPECT_EQ(P.columns(), (P.refsSeen() + 7) / 8);
+
+  // A snapshot cut after coarsening loads into a freshly constructed plot
+  // (base axis), which adopts the coarser axis.
+  SnapshotWriter W;
+  P.saveTo(W);
+  std::string Path =
+      std::string(::testing::TempDir()) + "/missplot_degraded.gcsnap";
+  ASSERT_TRUE(W.writeFile(Path).ok());
+  SnapshotReader Rd;
+  ASSERT_TRUE(Rd.open(Path).ok());
+  MissPlot Q(Config, 4);
+  ASSERT_TRUE(Q.loadFrom(Rd).ok());
+  EXPECT_EQ(Q.refsPerColumn(), 8u);
+  EXPECT_EQ(Q.columns(), P.columns());
+  EXPECT_EQ(Q.refsSeen(), P.refsSeen());
+  EXPECT_TRUE(Q.missedAt(0, 1));
+
+  // An axis that is not base * 2^k is someone else's snapshot.
+  MissPlot Incompatible(Config, 3);
+  Status S = Incompatible.loadFrom(Rd);
+  ASSERT_FALSE(S.ok());
+  EXPECT_EQ(S.code(), StatusCode::Corrupt);
+  std::remove(Path.c_str());
+}
+
+TEST(BlockTrackerDegrade, StrideSamplingIsDeterministicAndScaled) {
+  GovernanceReset Guard;
+  constexpr Address Dyn = Heap::DynamicBase;
+  auto FeedDense = [](BlockTracker &T) {
+    T.onAlloc(Dyn, 64 * 64); // 64 dynamic blocks, all referenced
+    for (int I = 0; I != 64; ++I)
+      T.onRef(load(Dyn + static_cast<Address>(I) * 64));
+  };
+  auto FeedSampled = [](BlockTracker &T) {
+    T.onAlloc(Dyn + 64 * 64, 256 * 64); // 256 more blocks past the freeze
+    for (int I = 64; I != 320; ++I)
+      T.onRef(load(Dyn + static_cast<Address>(I) * 64));
+  };
+
+  BlockTracker A(64, 256), B(64, 256);
+  FeedDense(A);
+  FeedDense(B);
+  std::string Note = A.degrade();
+  EXPECT_FALSE(Note.empty());
+  EXPECT_TRUE(A.degraded());
+  EXPECT_EQ(A.sampleStride(), 16u);
+  EXPECT_FALSE(B.degrade().empty());
+  FeedSampled(A);
+  FeedSampled(B);
+
+  BlockSummary SA = A.computeSummary();
+  BlockSummary SB = B.computeSummary();
+  EXPECT_TRUE(SA.Degraded);
+  EXPECT_EQ(SA.SampleStride, 16u);
+  // Uniformly touched blocks: 64 exact + 16 sampled * stride 16 = 320,
+  // i.e. the scaled estimate is exact here.
+  EXPECT_EQ(SA.TotalRefs, 320u);
+  EXPECT_EQ(SA.DynamicBlocks, 320u);
+  // Deterministic: an identical run degrades to identical numbers.
+  EXPECT_EQ(SA.DynamicBlocks, SB.DynamicBlocks);
+  EXPECT_EQ(SA.OneCycleBlocks, SB.OneCycleBlocks);
+  EXPECT_EQ(SA.MultiCycleBlocks, SB.MultiCycleBlocks);
+  EXPECT_EQ(SA.BusyDynamicBlocks, SB.BusyDynamicBlocks);
+  EXPECT_EQ(SA.BusyRefs, SB.BusyRefs);
+
+  // A second degrade step doubles the stride.
+  BlockTracker C(64, 256);
+  FeedDense(C);
+  EXPECT_FALSE(C.degrade().empty());
+  EXPECT_FALSE(C.degrade().empty());
+  EXPECT_EQ(C.sampleStride(), 32u);
+}
+
+//===----------------------------------------------------------------------===//
+// Supervisor: graceful timeout, outcome ledger, tmp sweep
+//===----------------------------------------------------------------------===//
+
+TEST(BudgetSupervisor, TimeoutDrainIsPartialNotCrash) {
+  GovernanceReset Guard;
+  std::string Dir = freshDir("budget_sup_drain");
+  SupervisorOptions Opts;
+  Opts.CheckpointDir = Dir;
+  Opts.TimeoutSec = 1;
+  Opts.GraceSec = 30;
+  Opts.BackoffMs = 1;
+
+  int Exit = runSupervised(Opts, [&] {
+    SignalGuard::install();
+    CheckpointContext Ctx;
+    Ctx.Dir = Dir;
+    // A "long unit" that honours the drain protocol: wait for the
+    // supervisor's SIGTERM, record the partial outcome, exit 3.
+    for (int I = 0; I != 30000 && !cancelToken().requested(); ++I)
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    if (!cancelToken().requested())
+      return 1;
+    if (FILE *F = std::fopen(Ctx.outcomesPath().c_str(), "ab")) {
+      std::fprintf(F, "slow-sweep\tpartial-deadline\t0.42\tdrained on "
+                      "SIGTERM\n");
+      std::fclose(F);
+    }
+    return 3;
+  });
+  EXPECT_EQ(Exit, 3);
+
+  std::string Manifest = readWholeFile(Dir + "/manifest.json");
+  EXPECT_NE(Manifest.find("\"result\": \"partial\""), std::string::npos)
+      << Manifest;
+  EXPECT_NE(Manifest.find("timeout (drained)"), std::string::npos)
+      << "drained timeout must not be attributed as a crash";
+  EXPECT_EQ(Manifest.find("\"cause\": \"signal"), std::string::npos);
+  EXPECT_NE(Manifest.find("\"name\": \"slow-sweep\""), std::string::npos);
+  EXPECT_NE(Manifest.find("\"outcome\": \"partial-deadline\""),
+            std::string::npos);
+  EXPECT_NE(Manifest.find("\"coverage\": 0.42"), std::string::npos);
+}
+
+TEST(BudgetSupervisor, OperatorCancelForwardsDrainToChild) {
+  GovernanceReset Guard;
+  std::string Dir = freshDir("budget_sup_cancel");
+  SupervisorOptions Opts;
+  Opts.CheckpointDir = Dir;
+  Opts.GraceSec = 30;
+  Opts.BackoffMs = 1;
+
+  // Trip the *supervisor's* token shortly after the fork (as its own
+  // SIGTERM handler would); the parent must forward a drain request.
+  std::thread Tripper([] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    cancelToken().request(CancelReason::Signal);
+  });
+  int Exit = runSupervised(Opts, [&] {
+    SignalGuard::install();
+    for (int I = 0; I != 30000 && !cancelToken().requested(); ++I)
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    return cancelToken().requested() ? 3 : 1;
+  });
+  Tripper.join();
+  EXPECT_EQ(Exit, 3);
+  std::string Manifest = readWholeFile(Dir + "/manifest.json");
+  EXPECT_NE(Manifest.find("\"result\": \"partial\""), std::string::npos)
+      << Manifest;
+}
+
+TEST(BudgetSupervisor, SweepsStaleTmpFilesOnStartup) {
+  GovernanceReset Guard;
+  std::string Dir = freshDir("budget_tmp_sweep");
+  auto Touch = [&](const char *Name) {
+    FILE *F = std::fopen((Dir + "/" + Name).c_str(), "wb");
+    ASSERT_NE(F, nullptr);
+    std::fputs("torn", F);
+    std::fclose(F);
+  };
+  Touch("unit_a.snap.tmp");
+  Touch("unit_b.snap");
+  Touch("other.tmp");
+  EXPECT_EQ(sweepStaleTmpFiles(Dir), 2u);
+  EXPECT_TRUE(readWholeFile(Dir + "/unit_a.snap.tmp").empty());
+  EXPECT_TRUE(readWholeFile(Dir + "/other.tmp").empty());
+  EXPECT_EQ(readWholeFile(Dir + "/unit_b.snap"), "torn");
+  EXPECT_EQ(sweepStaleTmpFiles(Dir), 0u) << "second sweep finds nothing";
+}

@@ -18,6 +18,7 @@
 
 #include <cstdio>
 #include <string>
+#include <unistd.h>
 #include <vector>
 
 using namespace gcache;
@@ -26,13 +27,18 @@ namespace {
 
 /// Records one small nbody run (Cheney, small semispaces so the trace
 /// contains collector phases) and returns the trace path. Recorded once
-/// and shared by every test in this binary.
+/// and shared by every test in this binary. ctest runs every test of
+/// this binary as its own process, so concurrent tests race to record
+/// the shared path; each process records under a pid-unique name and
+/// renames it into place (atomic, and the recording is deterministic,
+/// so whichever process wins leaves the identical file).
 const std::string &recordedTracePath() {
   static const std::string Path = [] {
     std::string P =
         std::string(::testing::TempDir()) + "/parallel_bank_nbody.gct";
+    std::string Mine = P + "." + std::to_string(::getpid());
     TraceWriter W;
-    EXPECT_TRUE(W.open(P).ok());
+    EXPECT_TRUE(W.open(Mine).ok());
     ExperimentOptions O;
     O.Scale = 0.05;
     O.Gc = GcKind::Cheney;
@@ -43,6 +49,7 @@ const std::string &recordedTracePath() {
     EXPECT_GT(Run.Collections, 0u) << "trace must contain GC phases";
     EXPECT_TRUE(W.close().ok());
     EXPECT_GT(W.recordCount(), 0u);
+    EXPECT_EQ(std::rename(Mine.c_str(), P.c_str()), 0);
     return P;
   }();
   return Path;
