@@ -13,6 +13,13 @@
 ///   --threads N  cache-bank worker threads (default 0 = serial;
 ///                GCACHE_THREADS env). Counters are bit-identical at any
 ///                thread count; see CacheBank::setThreads.
+///   --batch N    references per columnar batch of the cache bank's
+///                batch-mode kernel (default CacheBank::DefaultBatchRefs;
+///                GCACHE_BATCH env). Counters are bit-identical at any
+///                batch size; see memsys/BatchKernel.h.
+///   --no-batch   serial runs dispatch per reference instead of using the
+///                batch kernel (A/B baseline; counters are identical,
+///                only refs/s changes)
 ///   --fault S    arm a fault-injection plan `<site>:<n>[:<seed>]`
 ///                (GCACHE_FAULT env; see support/FaultInjector.h)
 ///   --paranoid   verify the live heap after every collection and at
@@ -101,6 +108,8 @@ struct BenchArgs {
   double Scale = 0.3;
   bool Csv = false;
   unsigned Threads = 0;
+  size_t BatchRefs = 0; ///< 0 = CacheBank::DefaultBatchRefs.
+  bool NoBatch = false; ///< Serial per-reference dispatch (A/B baseline).
   bool Paranoid = false;
   uint64_t CrossCheckEvery = 0; ///< 0 = off; 1 = every ref.
   bool Audit = false;
@@ -127,6 +136,7 @@ inline BenchArgs parseBenchArgs(int Argc, char **Argv,
 
   std::vector<std::string> Known = {
       "scale",          "csv",              "workload", "threads",
+      "batch",          "no-batch",
       "fault",          "paranoid",         "crosscheck", "audit",
       "checkpoint-dir",
       "checkpoint-every", "resume",         "supervise",
@@ -158,6 +168,14 @@ inline BenchArgs parseBenchArgs(int Argc, char **Argv,
     std::exit(2);
   }
   A.Threads = *Threads;
+
+  Expected<unsigned> Batch = A.Opts.getStrictUnsigned("batch", 0);
+  if (!Batch.ok()) {
+    std::fprintf(stderr, "error: %s\n", Batch.status().message().c_str());
+    std::exit(2);
+  }
+  A.BatchRefs = *Batch;
+  A.NoBatch = A.Opts.getBool("no-batch", false);
 
   A.Csv = A.Opts.getBool("csv", false);
   A.Paranoid = A.Opts.getBool("paranoid", false);
@@ -272,6 +290,8 @@ inline ExperimentOptions baseExperimentOptions(const BenchArgs &A) {
   ExperimentOptions Opts;
   Opts.Scale = A.Scale;
   Opts.Threads = A.Threads;
+  Opts.BatchRefs = A.BatchRefs;
+  Opts.Batched = !A.NoBatch;
   Opts.Paranoid = A.Paranoid;
   Opts.CrossCheckEvery = A.CrossCheckEvery;
   Opts.Audit = A.Audit;

@@ -50,14 +50,19 @@ static void BM_CacheRandomLoads(benchmark::State &State) {
 BENCHMARK(BM_CacheRandomLoads)->Arg(64 << 10)->Arg(4 << 20);
 
 // The workload every experiment pays for: one reference stream feeding the
-// full §4 paper grid. Arg(0) is the serial bank; Arg(N) runs N shard
-// workers (see CacheBank::setThreads — counters are identical either way,
-// so refs/s is the only thing that changes). items_per_second is the
-// measure the acceptance docs quote.
+// full §4 paper grid. Args are {threads, batched}: {0,0} is the serial
+// per-reference baseline, {0,1} the serial columnar batch kernel
+// (memsys/BatchKernel.h), {N,1} N shard workers (threaded mode always
+// batches). Counters are bit-identical in every mode, so refs/s is the
+// only thing that changes; items_per_second is the measure the acceptance
+// docs quote, and bench/bank_bench.cpp writes the same comparison to
+// BENCH_bank.json.
 static void BM_BankPaperGrid(benchmark::State &State) {
   CacheBank Bank;
   Bank.addPaperGrid(CacheConfig{});
   Bank.setThreads(static_cast<unsigned>(State.range(0)));
+  if (State.range(0) == 0 && State.range(1) != 0)
+    Bank.setBatched(true);
   // A young-heap-shaped stream: sequential allocation-style stores mixed
   // with random re-reads over a 16 MB window.
   std::vector<Ref> Stream;
@@ -83,9 +88,10 @@ static void BM_BankPaperGrid(benchmark::State &State) {
                           static_cast<int64_t>(Stream.size()));
 }
 BENCHMARK(BM_BankPaperGrid)
-    ->Arg(0)
-    ->Arg(2)
-    ->Arg(4)
+    ->Args({0, 0})
+    ->Args({0, 1})
+    ->Args({2, 1})
+    ->Args({4, 1})
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 

@@ -10,7 +10,13 @@
 // Flags (besides the shared bench flags):
 //   --trace=<path>      trace file to inspect (required)
 //   --salvage           replay/summarize the valid prefix of a damaged file
+//   --batch-stats       report how the reference stream divides into
+//                       columnar batches (--batch sets the capacity):
+//                       batch-size distribution and per-phase/per-kind
+//                       column occupancy
 //   --replay            replay into a simulated cache and print miss counts
+//                       (serial replays use the batch kernel; --no-batch
+//                       reverts to per-reference dispatch)
 //   --cache-size=<b>    simulated cache size for --replay (default 65536)
 //   --block-size=<b>    simulated block size for --replay (default 64)
 //   --stop-after=<n>    abort after n records (kill simulation for testing)
@@ -34,9 +40,9 @@
 using namespace gcache;
 
 int main(int Argc, char **Argv) {
-  BenchArgs A = parseBenchArgs(
-      Argc, Argv,
-      {"trace", "salvage", "replay", "cache-size", "block-size", "stop-after"});
+  BenchArgs A = parseBenchArgs(Argc, Argv,
+                               {"trace", "salvage", "batch-stats", "replay",
+                                "cache-size", "block-size", "stop-after"});
 
   std::string TracePath = A.Opts.get("trace", "");
   if (TracePath.empty()) {
@@ -55,6 +61,8 @@ int main(int Argc, char **Argv) {
     return 1;
   }
 
+  uint64_t StartIndex = Stream.recordIndex();
+  uint64_t StartOffset = Stream.byteOffset();
   uint64_t Refs = 0, Allocs = 0, GcBegins = 0, GcEnds = 0;
   uint64_t AllocBytes = 0;
   TraceRecord Rec;
@@ -99,6 +107,31 @@ int main(int Argc, char **Argv) {
               static_cast<unsigned long long>(GcBegins),
               static_cast<unsigned long long>(GcEnds));
 
+  if (A.Opts.getBool("batch-stats")) {
+    size_t Cap = A.BatchRefs ? A.BatchRefs : CacheBank::DefaultBatchRefs;
+    if (Status S = Stream.seekTo(StartIndex, StartOffset); !S.ok()) {
+      std::fprintf(stderr, "batch-stats: %s\n", S.message().c_str());
+      return 1;
+    }
+    TraceBatchStats B = collectTraceBatchStats(Stream, Cap);
+    std::printf("batch-stats (capacity %zu refs):\n", Cap);
+    std::printf("  %llu batches (%llu cut by capacity), sizes min %llu / "
+                "mean %.1f / max %llu\n",
+                static_cast<unsigned long long>(B.Batches),
+                static_cast<unsigned long long>(B.FullBatches),
+                static_cast<unsigned long long>(B.MinBatch), B.meanBatch(),
+                static_cast<unsigned long long>(B.MaxBatch));
+    std::printf("  column occupancy: %llu refs — %.1f%% mutator / %.1f%% "
+                "collector, %.1f%% loads / %.1f%% stores\n",
+                static_cast<unsigned long long>(B.Refs),
+                B.Refs ? 100.0 * B.MutatorRefs / B.Refs : 0.0,
+                B.Refs ? 100.0 * B.CollectorRefs / B.Refs : 0.0,
+                B.Refs ? 100.0 * B.Loads / B.Refs : 0.0,
+                B.Refs ? 100.0 * B.Stores / B.Refs : 0.0);
+    std::printf("  %llu non-reference records interleave the batches\n",
+                static_cast<unsigned long long>(B.OtherRecords));
+  }
+
   if (!A.Opts.getBool("replay"))
     return SalvageTruncated ? 4 : 0;
 
@@ -118,7 +151,11 @@ int main(int Argc, char **Argv) {
   if (A.CrossCheckEvery)
     Bank.enableCrossCheck(A.CrossCheckEvery);
   if (A.Threads)
-    Bank.setThreads(A.Threads);
+    Bank.setThreads(A.Threads,
+                    A.BatchRefs ? A.BatchRefs : CacheBank::DefaultBatchRefs);
+  else if (!A.NoBatch)
+    Bank.setBatched(true,
+                    A.BatchRefs ? A.BatchRefs : CacheBank::DefaultBatchRefs);
   CountingSink Counts;
 
   ReplayCheckpointOptions RO;

@@ -11,12 +11,17 @@
 //    with the identical record stream;
 //  - every salvaged stream replays cleanly into a cross-checked cache
 //    (the oracle and the invariant audit both stay green), and its
-//    salvage accounting (droppedBytes/droppedRecords) is consistent.
+//    salvage accounting (droppedBytes/droppedRecords) is consistent;
+//  - the batched decode path (TraceStream::nextRefBatch) yields columns
+//    that always pass BatchKernel::validate, and replaying them through
+//    the batch kernel ends with counters identical to the scalar replay —
+//    for any input and any batch capacity.
 //
 //===----------------------------------------------------------------------===//
 
 #include "FuzzCheck.h"
 
+#include "gcache/memsys/BatchKernel.h"
 #include "gcache/memsys/Cache.h"
 #include "gcache/trace/TraceFile.h"
 
@@ -27,10 +32,22 @@ using namespace gcache;
 
 namespace {
 
+const CacheConfig FuzzCacheConfig{.SizeBytes = 1 << 10, .BlockBytes = 32};
+
+bool sameCounters(const Cache &A, const Cache &B, Phase P) {
+  const CacheCounters &X = A.counters(P);
+  const CacheCounters &Y = B.counters(P);
+  return X.Loads == Y.Loads && X.Stores == Y.Stores &&
+         X.FetchMisses == Y.FetchMisses &&
+         X.NoFetchMisses == Y.NoFetchMisses && X.Writebacks == Y.Writebacks &&
+         X.WriteThroughs == Y.WriteThroughs;
+}
+
 /// Replays every record of \p S into a tiny cross-checked cache and
-/// checks the model invariants afterwards.
-void replayChecked(TraceStream &S) {
-  Cache C({.SizeBytes = 1 << 10, .BlockBytes = 32});
+/// checks the model invariants afterwards. Returns the cache so the
+/// batched replay can be differenced against it.
+Cache replayChecked(TraceStream &S) {
+  Cache C(FuzzCacheConfig);
   C.enableCrossCheck(1);
   TraceRecord Rec;
   uint64_t Seen = 0;
@@ -44,6 +61,42 @@ void replayChecked(TraceStream &S) {
              "oracle must agree with the cache after any valid trace");
   FUZZ_CHECK(C.auditState().ok(),
              "cache invariants must hold after any valid trace");
+  return C;
+}
+
+/// Replays \p S through the columnar path — nextRefBatch runs fed to
+/// BatchKernel::run, markers dispatched scalar — and checks the result
+/// against the scalar replay's cache.
+void replayBatchedChecked(TraceStream &S, size_t BatchCap,
+                          const Cache &Scalar) {
+  Cache C(FuzzCacheConfig);
+  RefColumns B;
+  BatchIndex Idx;
+  TraceRecord Rec;
+  for (;;) {
+    B.clear();
+    size_t N = S.nextRefBatch(B, BatchCap);
+    if (N != 0) {
+      FUZZ_CHECK(BatchKernel::validate(B).ok(),
+                 "trace-decoded columns must always validate");
+      Idx.reset(&B);
+      BatchKernel::run(C, B, Idx);
+    }
+    if (N == BatchCap)
+      continue;
+    if (!S.next(Rec))
+      break;
+    FUZZ_CHECK(Rec.Op != TraceRecord::Kind::Ref,
+               "nextRefBatch must consume every run of refs completely");
+    Rec.dispatch(C);
+  }
+  FUZZ_CHECK(S.recordIndex() == S.recordCount(),
+             "batched decode must reach the exact end of the stream");
+  FUZZ_CHECK(sameCounters(Scalar, C, Phase::Mutator) &&
+                 sameCounters(Scalar, C, Phase::Collector),
+             "batch kernel must match the scalar replay on any valid trace");
+  FUZZ_CHECK(C.auditState().ok(),
+             "cache invariants must hold after any batched replay");
 }
 
 } // namespace
@@ -65,7 +118,7 @@ extern "C" int LLVMFuzzerTestOneInput(const uint8_t *Data, size_t Size) {
                "salvage of a valid file must keep every record");
     FUZZ_CHECK(Strict.droppedBytes() == 0 && Strict.droppedRecords() == 0,
                "no salvage accounting on a valid file");
-    replayChecked(Strict);
+    (void)replayChecked(Strict);
   }
 
   if (SalvageStatus.ok()) {
@@ -74,7 +127,16 @@ extern "C" int LLVMFuzzerTestOneInput(const uint8_t *Data, size_t Size) {
       // accounted as larger than the input itself.
       FUZZ_CHECK(Salvaged.droppedBytes() <= Bytes.size(),
                  "cannot drop more bytes than the input holds");
-    replayChecked(Salvaged);
+    Cache Scalar = replayChecked(Salvaged);
+
+    // Batch-kernel differential: the same bytes through the columnar
+    // decode + batch kernel, with an input-derived batch capacity so the
+    // fuzzer explores the segmentation space too.
+    TraceStream Batched;
+    FUZZ_CHECK(Batched.openBuffer(Bytes, /*Salvage=*/true).ok(),
+               "salvage open must be deterministic");
+    size_t BatchCap = 1 + (Size % 301);
+    replayBatchedChecked(Batched, BatchCap, Scalar);
   }
   return 0;
 }

@@ -61,7 +61,11 @@ ProgramRun gcache::runProgram(const Workload &W,
   // before the shard workers take ownership of the caches.
   if (Opts.CrossCheckEvery)
     Bank->enableCrossCheck(Opts.CrossCheckEvery);
-  Bank->setThreads(Opts.Threads);
+  size_t BatchRefs =
+      Opts.BatchRefs ? Opts.BatchRefs : CacheBank::DefaultBatchRefs;
+  Bank->setThreads(Opts.Threads, BatchRefs);
+  if (!Opts.Threads && Opts.Batched)
+    Bank->setBatched(true, BatchRefs);
 
   CountingSink Counts;
   BudgetRefMeter Meter;
@@ -112,10 +116,11 @@ ProgramRun gcache::runProgram(const Workload &W,
     Run.Coverage = Sys.lastRunCoverage();
   }
 
-  // Drain the shard workers and return the bank in serial mode so that
-  // callers can read counters (and keep feeding it) without further
-  // synchronization.
+  // Drain the shard workers and return the bank in serial immediate mode
+  // so that callers can read counters (and keep feeding it) without
+  // further synchronization or flushing.
   Bank->setThreads(0);
+  Bank->setBatched(false);
 
   if (Run.Outcome == UnitOutcome::Ok) {
     if (Opts.Audit)

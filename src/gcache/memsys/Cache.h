@@ -156,6 +156,7 @@ public:
 
 private:
   friend class CacheTestPeer; ///< Mutation tests corrupt state on purpose.
+  friend class BatchKernel;   ///< The columnar hot path mirrors simulate().
 
   struct Line {
     uint32_t Tag = 0;

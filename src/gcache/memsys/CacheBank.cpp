@@ -4,6 +4,7 @@
 
 #include "gcache/support/Snapshot.h"
 
+#include <algorithm>
 #include <cassert>
 
 using namespace gcache;
@@ -12,9 +13,14 @@ CacheBank::~CacheBank() {
   // ShardPool's destructor drains its queues before joining, so any
   // still-buffered references are published and simulated first. Worker
   // failures are swallowed here (destructors must not throw); callers who
-  // care flush() explicitly before destruction.
-  if (Pool)
-    publish();
+  // care flush() explicitly before destruction. Serial batched mode can
+  // throw from a cross-checked batch, so it gets the same swallowing.
+  if (Pool || SerialBatched) {
+    try {
+      publish();
+    } catch (...) {
+    }
+  }
 }
 
 size_t CacheBank::addConfig(const CacheConfig &Config) {
@@ -81,19 +87,71 @@ void CacheBank::setThreads(unsigned Threads, size_t BatchRefsWanted) {
   Pending.reserve(BatchRefs);
 }
 
+void CacheBank::setBatched(bool Enabled, size_t BatchRefsWanted) {
+  flush();
+  SerialBatched = Enabled;
+  BatchRefs = BatchRefsWanted ? BatchRefsWanted : DefaultBatchRefs;
+  if (Enabled && !Pool)
+    Pending.reserve(BatchRefs);
+}
+
 void CacheBank::publish() {
   if (Pending.empty())
     return;
+  if (!Pool) {
+    runSerialBatch();
+    return;
+  }
   auto Batch = std::make_shared<RefBatch>(std::move(Pending));
   Pending = RefBatch();
   Pending.reserve(BatchRefs);
   Pool->submit(std::move(Batch));
 }
 
+void CacheBank::runSerialBatch() {
+  // The batch is simulated in place and cleared afterwards even if a
+  // cache throws (cross-check divergence): the failing batch must not be
+  // replayed by a later flush on top of already-updated sibling caches.
+  struct Clearer {
+    RefBatch &B;
+    ~Clearer() { B.clear(); }
+  } Clear{Pending};
+  SerialScratch.reset(&Pending);
+  // Visit the caches grouped by block size — the decomposed columns for
+  // each size are computed once and stay hot for the whole group — and
+  // fold adjacent eligible caches into one interleaved pass (runPair).
+  // The caches are independent, so neither the regrouping nor the
+  // pairing is observable in any cache's final state.
+  std::vector<Cache *> Order;
+  Order.reserve(Caches.size());
+  for (auto &C : Caches)
+    Order.push_back(C.get());
+  std::stable_sort(Order.begin(), Order.end(),
+                   [](const Cache *A, const Cache *B) {
+                     return A->config().BlockBytes < B->config().BlockBytes;
+                   });
+  for (size_t I = 0; I != Order.size();) {
+    Cache &A = *Order[I];
+    if (I + 1 != Order.size()) {
+      Cache &B = *Order[I + 1];
+      if (A.config().BlockBytes == B.config().BlockBytes &&
+          BatchKernel::pairable(A) && BatchKernel::pairable(B)) {
+        BatchKernel::runPair(A, B, Pending, SerialScratch);
+        I += 2;
+        continue;
+      }
+    }
+    BatchKernel::run(A, Pending, SerialScratch);
+    ++I;
+  }
+}
+
 void CacheBank::flush() {
   if (Pool) {
     publish();
     Pool->drain();
+  } else if (SerialBatched) {
+    publish();
   }
   // Flush points (GC boundaries, end of run) are where the deep
   // comparison runs: per-access checks catch hit-class divergence, this

@@ -50,10 +50,11 @@ class SnapshotReader;
 /// serially (the default) or via a pool of shard workers.
 class CacheBank final : public TraceSink {
 public:
-  /// References per published batch in threaded mode. Large enough to
-  /// amortize queue synchronization, small enough that a batch of Refs
-  /// (8 bytes each) stays cache- and memory-friendly.
-  static constexpr size_t DefaultBatchRefs = 64 * 1024;
+  /// References per published batch in threaded and serial-batched mode.
+  /// Large enough to amortize queue synchronization and the per-batch
+  /// column precompute, small enough that a batch of Refs (8 bytes each)
+  /// plus its decomposed columns stays memory-friendly.
+  static constexpr size_t DefaultBatchRefs = 256 * 1024;
 
   ~CacheBank() override;
 
@@ -78,6 +79,20 @@ public:
 
   /// Number of worker threads (0 = serial mode).
   unsigned threads() const { return Pool ? Pool->threads() : 0; }
+
+  /// Switches serial mode between immediate per-reference dispatch (the
+  /// default) and columnar batch-kernel execution: references accumulate
+  /// into a RefColumns batch and each full batch is simulated by the
+  /// batch kernel, visiting the caches grouped by block size (so the
+  /// decomposed address columns are computed once per size and stay hot)
+  /// and pairing eligible same-block-size caches into one interleaved
+  /// pass (BatchKernel::runPair). Counters
+  /// are bit-identical either way; as in threaded mode, call flush()
+  /// before reading counters. Has no effect while a pool is active
+  /// (threaded mode always runs batched); the flag is remembered and
+  /// applies once setThreads(0) returns the bank to serial execution.
+  void setBatched(bool Enabled, size_t BatchRefsWanted = DefaultBatchRefs);
+  bool batched() const { return SerialBatched; }
 
   /// Attaches a shadow oracle to every cache in the bank (--crosscheck),
   /// including ones added by later addConfig calls. Hit classes are
@@ -105,7 +120,7 @@ public:
   void flush();
 
   void onRef(const Ref &R) override {
-    if (!Pool) {
+    if (!Pool && !SerialBatched) {
       for (auto &C : Caches)
         (void)C->access(R);
       return;
@@ -144,11 +159,14 @@ public:
 
 private:
   void publish();
+  void runSerialBatch();
 
   std::vector<std::unique_ptr<Cache>> Caches;
   std::unique_ptr<ShardPool> Pool;
   RefBatch Pending;
+  BatchIndex SerialScratch; ///< Kernel scratch for serial batched mode.
   size_t BatchRefs = DefaultBatchRefs;
+  bool SerialBatched = false;
   uint64_t CrossCheckEvery = 0; ///< 0 = cross-checking off.
 };
 

@@ -71,9 +71,9 @@ void ShardPool::workerLoop(Worker &W) {
         if (faultInjector().shouldFire(FaultSite::ShardWorker))
           throwStatus(StatusCode::WorkerFailure,
                       "injected shard-worker failure (site shard-worker)");
-        for (const Ref &R : *Batch)
-          for (Cache *C : W.Shard)
-            (void)C->access(R);
+        W.Scratch.reset(Batch.get());
+        for (Cache *C : W.Shard)
+          BatchKernel::run(*C, *Batch, W.Scratch);
       } catch (...) {
         W.Failed = true;
         std::lock_guard<std::mutex> Lock(Mutex);

@@ -27,6 +27,7 @@
 #ifndef GCACHE_MEMSYS_SHARDPOOL_H
 #define GCACHE_MEMSYS_SHARDPOOL_H
 
+#include "gcache/memsys/BatchKernel.h"
 #include "gcache/trace/Event.h"
 
 #include <condition_variable>
@@ -41,8 +42,11 @@ namespace gcache {
 
 class Cache;
 
-/// A batch of references, shared read-only by all workers.
-using RefBatch = std::vector<Ref>;
+/// A batch of references in columnar form, shared read-only by all
+/// workers. Each worker decomposes the shared columns into its own
+/// BatchIndex scratch, so the address arithmetic is done once per (worker,
+/// block size) and the batch itself is never written after publication.
+using RefBatch = RefColumns;
 
 /// Fixed set of worker threads, each simulating a disjoint shard of caches.
 class ShardPool {
@@ -75,6 +79,9 @@ private:
   struct Worker {
     std::vector<Cache *> Shard;
     std::deque<std::shared_ptr<const RefBatch>> Queue;
+    /// Per-worker scratch for the batch kernel's precomputed address
+    /// columns (only its own thread touches it).
+    BatchIndex Scratch;
     /// Set once this worker has thrown; it then discards batches instead
     /// of simulating them (only its own thread reads or writes this).
     bool Failed = false;

@@ -17,7 +17,9 @@
 #ifndef GCACHE_TRACE_EVENT_H
 #define GCACHE_TRACE_EVENT_H
 
+#include <cstddef>
 #include <cstdint>
+#include <vector>
 
 namespace gcache {
 
@@ -38,6 +40,52 @@ struct Ref {
   Address Addr;
   AccessKind Kind;
   Phase ExecPhase;
+};
+
+/// A batch of references in structure-of-arrays (columnar) form: the
+/// addresses, access kinds, and phase tags live in three separate
+/// contiguous columns instead of an array of Ref structs. This is the unit
+/// of work of the batch-mode simulator (memsys/BatchKernel.h): a column
+/// scan touches only the bytes the inner loop actually needs, and the
+/// per-batch address decomposition (block index, word bit) can be computed
+/// once per block size and shared across every cache configuration fed
+/// from the same batch.
+///
+/// Invariant: all three columns are the same length. Kind and PhaseTag
+/// hold the numeric values of AccessKind and Phase; columns built by
+/// push_back or by the trace reader only ever contain in-range values, and
+/// untrusted columnar input is screened with validate().
+struct RefColumns {
+  std::vector<Address> Addr;
+  std::vector<uint8_t> Kind;     ///< AccessKind as its underlying value.
+  std::vector<uint8_t> PhaseTag; ///< Phase as its underlying value.
+
+  size_t size() const { return Addr.size(); }
+  bool empty() const { return Addr.empty(); }
+
+  void clear() {
+    Addr.clear();
+    Kind.clear();
+    PhaseTag.clear();
+  }
+
+  void reserve(size_t N) {
+    Addr.reserve(N);
+    Kind.reserve(N);
+    PhaseTag.reserve(N);
+  }
+
+  void push_back(const Ref &R) {
+    Addr.push_back(R.Addr);
+    Kind.push_back(static_cast<uint8_t>(R.Kind));
+    PhaseTag.push_back(static_cast<uint8_t>(R.ExecPhase));
+  }
+
+  /// Reassembles row \p I as a Ref (the scalar fallback paths use this).
+  Ref get(size_t I) const {
+    return {Addr[I], static_cast<AccessKind>(Kind[I]),
+            static_cast<Phase>(PhaseTag[I])};
+  }
 };
 
 /// Receives the reference stream of one program run. The hot entry point

@@ -4,6 +4,7 @@
 
 #include "gcache/support/FaultInjector.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstring>
 #include <unistd.h>
@@ -355,6 +356,54 @@ bool TraceStream::next(TraceRecord &Rec) {
   Pos += Len;
   ++Index;
   return true;
+}
+
+size_t TraceStream::nextRefBatch(RefColumns &Out, size_t MaxRefs) {
+  size_t Appended = 0;
+  const uint8_t *D = Data.data();
+  while ((MaxRefs == 0 || Appended < MaxRefs) && Pos < RecordsEnd) {
+    const uint8_t Op = D[Pos];
+    if (Op > OpStoreGc) // Allocation or GC marker ends the run.
+      break;
+    Out.Addr.push_back(get32(D + Pos + 1));
+    Out.Kind.push_back(Op & 1);      // Load/Store is the opcode's low bit.
+    Out.PhaseTag.push_back(Op >> 1); // Mutator/Collector is the next bit.
+    Pos += 5;
+    ++Index;
+    ++Appended;
+  }
+  return Appended;
+}
+
+TraceBatchStats gcache::collectTraceBatchStats(TraceStream &S,
+                                               size_t BatchRefs) {
+  TraceBatchStats St;
+  RefColumns Batch;
+  TraceRecord Rec;
+  for (;;) {
+    Batch.clear();
+    size_t N = S.nextRefBatch(Batch, BatchRefs);
+    if (N) {
+      ++St.Batches;
+      if (BatchRefs && N == BatchRefs)
+        ++St.FullBatches;
+      St.Refs += N;
+      St.MinBatch = St.Batches == 1 ? N : std::min<uint64_t>(St.MinBatch, N);
+      St.MaxBatch = std::max<uint64_t>(St.MaxBatch, N);
+      for (uint8_t K : Batch.Kind)
+        St.Stores += K;
+      for (uint8_t P : Batch.PhaseTag)
+        St.CollectorRefs += P;
+    }
+    if (BatchRefs && N == BatchRefs)
+      continue; // Cut by capacity; the run may continue in the next batch.
+    if (!S.next(Rec))
+      break;
+    ++St.OtherRecords; // nextRefBatch stopped short, so this is not a Ref.
+  }
+  St.Loads = St.Refs - St.Stores;
+  St.MutatorRefs = St.Refs - St.CollectorRefs;
+  return St;
 }
 
 Status TraceStream::seekTo(uint64_t RecordIndex, uint64_t ByteOffset) {

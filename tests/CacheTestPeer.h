@@ -29,6 +29,17 @@ public:
     return C.Counts[static_cast<unsigned>(P)];
   }
   static std::vector<uint64_t> &blockMisses(Cache &C) { return C.BlockMisses; }
+
+  // Read-only views for the bit-identity comparisons of the batch-kernel
+  // differential tests (tests/test_batch_kernel.cpp): two caches are in
+  // the same state iff clock, line array, counters, and per-block stats
+  // all match exactly.
+  static const std::vector<Line> &lines(const Cache &C) { return C.Lines; }
+  static uint64_t lruClockOf(const Cache &C) { return C.LruClock; }
+  static bool sameLine(const Line &A, const Line &B) {
+    return A.Tag == B.Tag && A.ValidMask == B.ValidMask &&
+           A.Dirty == B.Dirty && A.LruStamp == B.LruStamp;
+  }
 };
 
 } // namespace gcache

@@ -1,0 +1,1015 @@
+//===- test_batch_kernel.cpp - Batch-kernel differential harness ----------===//
+//
+// The bit-identity proof for the columnar batch kernel
+// (memsys/BatchKernel.h). The kernel's contract is that batch-mode
+// simulation is *unobservable*: any stream, cut into batches any way,
+// must leave a cache in exactly the state per-reference Cache::access
+// leaves it in — same counters, same line array (tags, valid masks,
+// dirty bits, LRU stamps), same clock, same per-block statistics.
+//
+// The harness replays randomized and recorded reference streams through
+// three models simultaneously — scalar Cache::access, the batch kernel,
+// and OracleCache — and asserts identical counters and LRU state at
+// every flush boundary, across the write-policy x associativity x
+// block-size matrix. On top of that:
+//
+//  - batch segmentation invariance (any cut of the same stream agrees);
+//  - CacheBank execution-mode equivalence (immediate vs serial batched
+//    vs threaded shards), including --crosscheck and --audit semantics;
+//  - mutated-batch properties: a corrupt columnar batch is rejected by
+//    validate(), and any batch that validates processes identically to
+//    the scalar path — never a silent divergence;
+//  - checkpoint/resume kills at every batch flush boundary, resumed in
+//    either execution mode, finishing bit-identical to a clean replay;
+//  - the batched trace reader (TraceStream::nextRefBatch) decodes the
+//    exact record stream, and collectTraceBatchStats (the engine of
+//    trace_inspect --batch-stats) reports the true batch distribution.
+//
+//===----------------------------------------------------------------------===//
+
+#include "CacheTestPeer.h"
+
+#include "gcache/core/Checkpoint.h"
+#include "gcache/memsys/BatchKernel.h"
+#include "gcache/memsys/CacheBank.h"
+#include "gcache/memsys/OracleCache.h"
+#include "gcache/trace/Sinks.h"
+#include "gcache/trace/TraceFile.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+using namespace gcache;
+
+namespace {
+
+/// xorshift64* — a deterministic reference stream without <random>.
+struct Rng {
+  uint64_t S = 0x9e3779b97f4a7c15ull;
+  uint64_t next() {
+    S ^= S >> 12;
+    S ^= S << 25;
+    S ^= S >> 27;
+    return S * 0x2545f4914f6cdd1dull;
+  }
+};
+
+/// A mixed-phase reference: clustered addresses (so sets conflict and
+/// evict), both kinds, occasional collector phases.
+Ref randomRef(Rng &R) {
+  uint64_t V = R.next();
+  Ref Out;
+  Out.Addr = static_cast<Address>((V % 8192) * 4 + (V >> 40) % 4 * 0x10000);
+  Out.Kind = (V >> 13) & 1 ? AccessKind::Store : AccessKind::Load;
+  Out.ExecPhase = (V >> 17) % 5 == 0 ? Phase::Collector : Phase::Mutator;
+  return Out;
+}
+
+std::vector<Ref> randomStream(size_t N, uint64_t Seed = 0) {
+  Rng R;
+  R.S += Seed;
+  std::vector<Ref> Out;
+  Out.reserve(N);
+  for (size_t I = 0; I != N; ++I)
+    Out.push_back(randomRef(R));
+  return Out;
+}
+
+/// Feeds [Begin, End) of \p Refs to \p C through the batch kernel in
+/// batches of \p BatchRefs.
+void runBatched(Cache &C, const std::vector<Ref> &Refs, size_t BatchRefs,
+                size_t Begin = 0, size_t End = SIZE_MAX) {
+  End = std::min(End, Refs.size());
+  RefColumns B;
+  BatchIndex Idx;
+  for (size_t I = Begin; I < End;) {
+    B.clear();
+    for (size_t K = 0; K != BatchRefs && I != End; ++K, ++I)
+      B.push_back(Refs[I]);
+    Idx.reset(&B);
+    BatchKernel::run(C, B, Idx);
+  }
+}
+
+void expectCountersEqual(const CacheCounters &Want, const CacheCounters &Got,
+                         const std::string &Where) {
+  EXPECT_EQ(Want.Loads, Got.Loads) << Where;
+  EXPECT_EQ(Want.Stores, Got.Stores) << Where;
+  EXPECT_EQ(Want.FetchMisses, Got.FetchMisses) << Where;
+  EXPECT_EQ(Want.NoFetchMisses, Got.NoFetchMisses) << Where;
+  EXPECT_EQ(Want.Writebacks, Got.Writebacks) << Where;
+  EXPECT_EQ(Want.WriteThroughs, Got.WriteThroughs) << Where;
+}
+
+/// The full bit-identity comparison: counters of both phases, the LRU
+/// clock, every line (tag, valid mask, dirty, LRU stamp), and the
+/// per-block statistics.
+void expectStateIdentical(const Cache &Want, const Cache &Got,
+                          const std::string &Where) {
+  expectCountersEqual(Want.counters(Phase::Mutator),
+                      Got.counters(Phase::Mutator), Where + " (mutator)");
+  expectCountersEqual(Want.counters(Phase::Collector),
+                      Got.counters(Phase::Collector), Where + " (collector)");
+  ASSERT_EQ(CacheTestPeer::lruClockOf(Want), CacheTestPeer::lruClockOf(Got))
+      << Where;
+  const auto &WL = CacheTestPeer::lines(Want);
+  const auto &GL = CacheTestPeer::lines(Got);
+  ASSERT_EQ(WL.size(), GL.size()) << Where;
+  for (size_t I = 0; I != WL.size(); ++I)
+    ASSERT_TRUE(CacheTestPeer::sameLine(WL[I], GL[I]))
+        << Where << ": line " << I << " differs (tag " << WL[I].Tag << "/"
+        << GL[I].Tag << ", valid " << WL[I].ValidMask << "/" << GL[I].ValidMask
+        << ", dirty " << WL[I].Dirty << "/" << GL[I].Dirty << ", stamp "
+        << WL[I].LruStamp << "/" << GL[I].LruStamp << ")";
+  EXPECT_EQ(Want.perBlockRefs(), Got.perBlockRefs()) << Where;
+  EXPECT_EQ(Want.perBlockMisses(), Got.perBlockMisses()) << Where;
+  EXPECT_EQ(Want.perBlockFetchMisses(), Got.perBlockFetchMisses()) << Where;
+}
+
+/// Compares a batch-kernel-driven cache against the independently-driven
+/// oracle: counters of both phases, and every set's resident lines in LRU
+/// order (the cache's stamp order must equal the oracle's literal list
+/// order).
+void expectMatchesOracle(const Cache &C, const OracleCache &O,
+                         const std::string &Where) {
+  expectCountersEqual(O.counters(Phase::Mutator), C.counters(Phase::Mutator),
+                      Where + " (oracle, mutator)");
+  expectCountersEqual(O.counters(Phase::Collector),
+                      C.counters(Phase::Collector),
+                      Where + " (oracle, collector)");
+  const auto &Lines = CacheTestPeer::lines(C);
+  uint32_t Ways = C.config().Ways;
+  for (uint32_t S = 0; S != O.numSets(); ++S) {
+    std::vector<CacheTestPeer::Line> Resident;
+    for (uint32_t W = 0; W != Ways; ++W) {
+      const auto &L = Lines[static_cast<size_t>(S) * Ways + W];
+      if (L.ValidMask != 0)
+        Resident.push_back(L);
+    }
+    std::sort(Resident.begin(), Resident.end(),
+              [](const CacheTestPeer::Line &A, const CacheTestPeer::Line &B) {
+                return A.LruStamp < B.LruStamp;
+              });
+    const auto &Want = O.set(S);
+    ASSERT_EQ(Want.size(), Resident.size()) << Where << ": set " << S;
+    for (size_t I = 0; I != Want.size(); ++I) {
+      EXPECT_EQ(Want[I].Tag, Resident[I].Tag) << Where << ": set " << S;
+      EXPECT_EQ(Want[I].ValidMask, Resident[I].ValidMask)
+          << Where << ": set " << S;
+      EXPECT_EQ(Want[I].Dirty, Resident[I].Dirty) << Where << ": set " << S;
+    }
+  }
+}
+
+std::string tempPath(const std::string &Name) {
+  return std::string(::testing::TempDir()) + "/" + Name;
+}
+
+//===----------------------------------------------------------------------===//
+// The headline differential: scalar vs batch vs oracle, policy matrix
+//===----------------------------------------------------------------------===//
+
+class BatchKernelMatrix : public ::testing::TestWithParam<CacheConfig> {};
+
+TEST_P(BatchKernelMatrix, ScalarBatchOracleBitIdentical) {
+  const CacheConfig Cfg = GetParam();
+  SCOPED_TRACE(Cfg.label());
+  Cache Scalar(Cfg);
+  Cache Batch(Cfg);
+  OracleCache Oracle(Cfg);
+
+  // A prime batch size, so flush boundaries land at awkward offsets.
+  const size_t BatchRefs = 769;
+  std::vector<Ref> Stream = randomStream(40000);
+
+  RefColumns Cols;
+  BatchIndex Idx;
+  for (size_t I = 0; I < Stream.size();) {
+    Cols.clear();
+    size_t Boundary = std::min(I + BatchRefs, Stream.size());
+    for (; I != Boundary; ++I) {
+      Cols.push_back(Stream[I]);
+      (void)Scalar.access(Stream[I]);
+      (void)Oracle.access(Stream[I]);
+    }
+    Idx.reset(&Cols);
+    BatchKernel::run(Batch, Cols, Idx);
+    // Every flush boundary: the three models must agree exactly.
+    std::string Where = "after " + std::to_string(I) + " refs";
+    expectStateIdentical(Scalar, Batch, Where);
+    expectMatchesOracle(Batch, Oracle, Where);
+    if (::testing::Test::HasFatalFailure())
+      return;
+  }
+  EXPECT_TRUE(Batch.auditState().ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PolicyMatrix, BatchKernelMatrix,
+    ::testing::Values(
+        // Write-validate, write-back, across associativity and block size.
+        CacheConfig{.SizeBytes = 1 << 10, .BlockBytes = 16,
+                    .TrackPerBlockStats = true},
+        CacheConfig{.SizeBytes = 1 << 10, .BlockBytes = 16, .Ways = 2,
+                    .CollectorFetchOnWrite = false},
+        CacheConfig{.SizeBytes = 2 << 10, .BlockBytes = 64, .Ways = 4,
+                    .TrackPerBlockStats = true},
+        CacheConfig{.SizeBytes = 4 << 10, .BlockBytes = 256,
+                    .CollectorFetchOnWrite = false,
+                    .TrackPerBlockStats = true},
+        // Write-through hits.
+        CacheConfig{.SizeBytes = 2 << 10, .BlockBytes = 64,
+                    .WriteHit = WriteHitPolicy::WriteThrough},
+        CacheConfig{.SizeBytes = 4 << 10, .BlockBytes = 64, .Ways = 2,
+                    .WriteHit = WriteHitPolicy::WriteThrough,
+                    .CollectorFetchOnWrite = false,
+                    .TrackPerBlockStats = true},
+        // Fetch-on-write misses.
+        CacheConfig{.SizeBytes = 4 << 10, .BlockBytes = 256, .Ways = 2,
+                    .WriteMiss = WriteMissPolicy::FetchOnWrite},
+        CacheConfig{.SizeBytes = 1 << 10, .BlockBytes = 16, .Ways = 4,
+                    .WriteMiss = WriteMissPolicy::FetchOnWrite,
+                    .WriteHit = WriteHitPolicy::WriteThrough},
+        CacheConfig{.SizeBytes = 2 << 10, .BlockBytes = 32,
+                    .WriteMiss = WriteMissPolicy::FetchOnWrite,
+                    .WriteHit = WriteHitPolicy::WriteThrough,
+                    .CollectorFetchOnWrite = false},
+        CacheConfig{.SizeBytes = 2 << 10, .BlockBytes = 256, .Ways = 4,
+                    .WriteMiss = WriteMissPolicy::FetchOnWrite,
+                    .TrackPerBlockStats = true}));
+
+//===----------------------------------------------------------------------===//
+// Batch segmentation invariance
+//===----------------------------------------------------------------------===//
+
+TEST(BatchKernel, SegmentationIsUnobservable) {
+  CacheConfig Cfg{.SizeBytes = 2 << 10, .BlockBytes = 32, .Ways = 2,
+                  .TrackPerBlockStats = true};
+  std::vector<Ref> Stream = randomStream(20000, /*Seed=*/17);
+
+  Cache Scalar(Cfg);
+  for (const Ref &R : Stream)
+    (void)Scalar.access(R);
+
+  for (size_t BatchRefs : {size_t(1), size_t(7), size_t(64), size_t(1000),
+                           Stream.size()}) {
+    Cache Batch(Cfg);
+    runBatched(Batch, Stream, BatchRefs);
+    expectStateIdentical(Scalar, Batch,
+                         "batch size " + std::to_string(BatchRefs));
+  }
+}
+
+TEST(BatchKernel, EmptyBatchIsANoOp) {
+  Cache C({.SizeBytes = 1 << 10, .BlockBytes = 32});
+  std::vector<Ref> Warm = randomStream(500);
+  runBatched(C, Warm, 100);
+  uint64_t Clock = CacheTestPeer::lruClockOf(C);
+  RefColumns Empty;
+  BatchIndex Idx;
+  Idx.reset(&Empty);
+  BatchKernel::run(C, Empty, Idx);
+  EXPECT_EQ(CacheTestPeer::lruClockOf(C), Clock);
+}
+
+//===----------------------------------------------------------------------===//
+// The interleaved two-cache pass (runPair)
+//===----------------------------------------------------------------------===//
+
+// Pairing two caches into one pass must be unobservable in either: both
+// end bit-identical to the scalar path. Covers the single-phase fast
+// path (mutator-only stream), the mixed-phase fallback (randomStream
+// interleaves collector refs), unequal cache sizes, desynchronized LRU
+// clocks, and both write-hit policies.
+TEST(BatchKernelPair, PairedRunBitIdenticalToScalar) {
+  struct Case {
+    CacheConfig A, B;
+    bool SinglePhase;
+  };
+  const Case Cases[] = {
+      // The paper-grid shape: two direct-mapped write-back sizes.
+      {{.SizeBytes = 2 << 10, .BlockBytes = 32},
+       {.SizeBytes = 8 << 10, .BlockBytes = 32},
+       false},
+      {{.SizeBytes = 2 << 10, .BlockBytes = 32},
+       {.SizeBytes = 8 << 10, .BlockBytes = 32},
+       true},
+      // Mismatched policies within a pair.
+      {{.SizeBytes = 4 << 10, .BlockBytes = 64,
+        .WriteMiss = WriteMissPolicy::FetchOnWrite,
+        .WriteHit = WriteHitPolicy::WriteThrough},
+       {.SizeBytes = 1 << 10, .BlockBytes = 64,
+        .CollectorFetchOnWrite = true},
+       false},
+  };
+  for (size_t CI = 0; CI != std::size(Cases); ++CI) {
+    const Case &TC = Cases[CI];
+    SCOPED_TRACE("case " + std::to_string(CI));
+    ASSERT_TRUE(BatchKernel::pairable(Cache(TC.A)) &&
+                BatchKernel::pairable(Cache(TC.B)));
+    std::vector<Ref> Stream = randomStream(20000, /*Seed=*/CI);
+    if (TC.SinglePhase)
+      for (Ref &R : Stream)
+        R.ExecPhase = Phase::Mutator;
+
+    Cache ScalarA(TC.A), ScalarB(TC.B);
+    Cache PairA(TC.A), PairB(TC.B);
+    // Desynchronize B's LRU clock: pairing must not assume equal clocks.
+    std::vector<Ref> Lead = randomStream(337, /*Seed=*/99);
+    for (const Ref &R : Lead) {
+      (void)ScalarB.access(R);
+      (void)PairB.access(R);
+    }
+    for (const Ref &R : Stream) {
+      (void)ScalarA.access(R);
+      (void)ScalarB.access(R);
+    }
+
+    RefColumns Batch;
+    BatchIndex Idx;
+    for (size_t I = 0; I != Stream.size();) {
+      Batch.clear();
+      for (size_t K = 0; K != 997 && I != Stream.size(); ++K, ++I)
+        Batch.push_back(Stream[I]);
+      Idx.reset(&Batch);
+      BatchKernel::runPair(PairA, PairB, Batch, Idx);
+    }
+    expectStateIdentical(ScalarA, PairA, "paired cache A");
+    expectStateIdentical(ScalarB, PairB, "paired cache B");
+  }
+}
+
+TEST(BatchKernelPair, PairableScreensOutIneligibleCaches) {
+  EXPECT_TRUE(BatchKernel::pairable(
+      Cache({.SizeBytes = 1 << 10, .BlockBytes = 32})));
+  EXPECT_FALSE(BatchKernel::pairable(
+      Cache({.SizeBytes = 1 << 10, .BlockBytes = 32, .Ways = 2})));
+  EXPECT_FALSE(BatchKernel::pairable(Cache(
+      {.SizeBytes = 1 << 10, .BlockBytes = 32, .TrackPerBlockStats = true})));
+  Cache CrossChecked({.SizeBytes = 1 << 10, .BlockBytes = 32});
+  CrossChecked.enableCrossCheck(1);
+  EXPECT_FALSE(BatchKernel::pairable(CrossChecked));
+}
+
+//===----------------------------------------------------------------------===//
+// The shared per-batch address index
+//===----------------------------------------------------------------------===//
+
+TEST(BatchIndex, ColumnsMatchScalarDecomposition) {
+  using BC = BatchIndex::BlockColumns;
+  RefColumns B;
+  Rng R;
+  for (int I = 0; I != 1000; ++I)
+    B.push_back(randomRef(R));
+  BatchIndex Idx;
+  Idx.reset(&B);
+  for (uint32_t BlockBytes : {16u, 32u, 64u, 128u, 256u}) {
+    const auto &Cols = Idx.columnsFor(BlockBytes);
+    // Recompute the run decomposition with naive scalar arithmetic and
+    // require the packed columns to agree run for run.
+    size_t Run = 0;   // index of the run currently being checked
+    size_t Start = 0; // first reference of that run
+    for (size_t I = 0; I != B.size(); ++I) {
+      const Address A = B.Addr[I];
+      const uint32_t BI = static_cast<uint32_t>(A / BlockBytes);
+      const uint64_t Bit = 1ull << ((A % BlockBytes) / 4);
+      const bool IsStore = B.Kind[I] == static_cast<uint8_t>(AccessKind::Store);
+      const bool NewRun =
+          I == 0 || BI != static_cast<uint32_t>(B.Addr[I - 1] / BlockBytes);
+      if (NewRun) {
+        if (I != 0) {
+          EXPECT_EQ(Cols.RunPacked[Run] & BC::RunLenMask, I - Start);
+          ++Run;
+        }
+        Start = I;
+        ASSERT_LT(Run, Cols.NumRuns);
+        EXPECT_EQ(Cols.RunBlockIdx[Run], BI);
+        EXPECT_EQ(Cols.FirstWordBit[Run], Bit);
+        EXPECT_EQ((Cols.RunPacked[Run] & BC::RunFirstIsStore) != 0, IsStore);
+        EXPECT_EQ((Cols.RunPacked[Run] & BC::RunFirstCollector) != 0,
+                  B.PhaseTag[I] == static_cast<uint8_t>(Phase::Collector));
+        EXPECT_EQ(Cols.StoreMask[Run], IsStore ? Bit : 0u);
+      } else {
+        // Tail reference: stores accumulate into the mask, loads set the
+        // tail-load flag forcing the kernel's per-reference walk.
+        if (IsStore)
+          EXPECT_NE(Cols.StoreMask[Run] & Bit, 0u);
+        else
+          EXPECT_NE(Cols.RunPacked[Run] & BC::RunHasTailLoad, 0u);
+      }
+    }
+    EXPECT_EQ(Run + 1, Cols.NumRuns);
+    EXPECT_EQ(Cols.RunPacked[Run] & BC::RunLenMask, B.size() - Start);
+    // A run whose flags say store-only-tail must cover every tail store;
+    // cross-check the mask totals reference by reference.
+    size_t TotalLen = 0;
+    for (uint32_t Packed : Cols.RunPacked)
+      TotalLen += Packed & BC::RunLenMask;
+    EXPECT_EQ(TotalLen, B.size());
+  }
+}
+
+TEST(BatchIndex, ColumnsAreCachedPerBlockSizeAndInvalidatedByReset) {
+  RefColumns B1, B2;
+  Rng R;
+  for (int I = 0; I != 64; ++I)
+    B1.push_back(randomRef(R));
+  B2.push_back({0x1234, AccessKind::Load, Phase::Mutator});
+
+  BatchIndex Idx;
+  Idx.reset(&B1);
+  const uint32_t Want = Idx.columnsFor(64).RunBlockIdx[0];
+  // Scribble on the cached columns: while the batch is current, repeated
+  // columnsFor calls must return the cache, not recompute (recomputing
+  // would erase the scribble).
+  const_cast<BatchIndex::BlockColumns &>(Idx.columnsFor(64)).RunBlockIdx[0] =
+      Want ^ 0xdead;
+  EXPECT_EQ(Idx.columnsFor(64).RunBlockIdx[0], Want ^ 0xdead);
+  // Asking for another block size computes its own columns and leaves the
+  // first size's cache entry alone.
+  EXPECT_EQ(Idx.columnsFor(16).RunBlockIdx[0], B1.Addr[0] / 16);
+  EXPECT_EQ(Idx.columnsFor(64).RunBlockIdx[0], Want ^ 0xdead);
+
+  // reset() invalidates: the columns are recomputed for the new batch.
+  Idx.reset(&B2);
+  const auto &Fresh = Idx.columnsFor(64);
+  ASSERT_EQ(Fresh.NumRuns, 1u);
+  EXPECT_EQ(Fresh.RunBlockIdx[0], 0x1234u / 64);
+  // And re-pointing at the original batch recomputes honestly too.
+  Idx.reset(&B1);
+  EXPECT_EQ(Idx.columnsFor(64).RunBlockIdx[0], Want);
+}
+
+//===----------------------------------------------------------------------===//
+// Untrusted-batch validation and the mutated-batch property
+//===----------------------------------------------------------------------===//
+
+TEST(BatchValidate, AcceptsWellFormedRejectsCorrupt) {
+  RefColumns B;
+  Rng R;
+  for (int I = 0; I != 100; ++I)
+    B.push_back(randomRef(R));
+  EXPECT_TRUE(BatchKernel::validate(B).ok());
+
+  RefColumns Ragged = B;
+  Ragged.Kind.pop_back();
+  EXPECT_EQ(BatchKernel::validate(Ragged).code(),
+            StatusCode::InvalidArgument);
+
+  RefColumns BadKind = B;
+  BadKind.Kind[42] = 7;
+  EXPECT_EQ(BatchKernel::validate(BadKind).code(),
+            StatusCode::InvalidArgument);
+
+  RefColumns BadPhase = B;
+  BadPhase.PhaseTag[13] = 0xff;
+  EXPECT_EQ(BatchKernel::validate(BadPhase).code(),
+            StatusCode::InvalidArgument);
+}
+
+// The fuzz property: mutate batches arbitrarily; every mutant is either
+// rejected by validate() or processes bit-identically to the scalar
+// replay of the same (still well-formed) columns. A silent divergence —
+// validate() passing but the kernel disagreeing with the scalar path —
+// is the one outcome that must never happen.
+TEST(BatchKernelProperty, MutatedBatchesRejectOrProcessIdentically) {
+  CacheConfig Cfg{.SizeBytes = 1 << 10, .BlockBytes = 32, .Ways = 2,
+                  .TrackPerBlockStats = true};
+  Rng R;
+  unsigned Rejected = 0, Processed = 0;
+  for (int Trial = 0; Trial != 300; ++Trial) {
+    RefColumns B;
+    size_t N = 1 + R.next() % 200;
+    for (size_t I = 0; I != N; ++I)
+      B.push_back(randomRef(R));
+
+    // One random mutation per trial, structural or value-level.
+    switch (R.next() % 6) {
+    case 0:
+      B.Kind.pop_back();
+      break;
+    case 1:
+      B.PhaseTag.resize(B.PhaseTag.size() - R.next() % N);
+      break;
+    case 2:
+      B.Addr.push_back(static_cast<Address>(R.next()));
+      break;
+    case 3:
+      // % 4: half the pokes are in-range rewrites, half invalid bytes, so
+      // both the reject path and the process path see value mutations.
+      B.Kind[R.next() % N] = static_cast<uint8_t>(R.next() % 4);
+      break;
+    case 4:
+      B.PhaseTag[R.next() % N] = static_cast<uint8_t>(R.next() % 4);
+      break;
+    case 5:
+      B.Addr[R.next() % N] = static_cast<Address>(R.next());
+      break;
+    }
+
+    // The ground truth the kernel must match.
+    bool WellFormed = B.Kind.size() == B.Addr.size() &&
+                      B.PhaseTag.size() == B.Addr.size();
+    for (size_t I = 0; WellFormed && I != B.size(); ++I)
+      WellFormed = B.Kind[I] <= 1 && B.PhaseTag[I] <= 1;
+
+    Status V = BatchKernel::validate(B);
+    EXPECT_EQ(V.ok(), WellFormed) << "trial " << Trial;
+    if (!V.ok()) {
+      ++Rejected;
+      continue;
+    }
+    ++Processed;
+    Cache Scalar(Cfg), Batch(Cfg);
+    for (size_t I = 0; I != B.size(); ++I)
+      (void)Scalar.access(B.get(I));
+    BatchIndex Idx;
+    Idx.reset(&B);
+    BatchKernel::run(Batch, B, Idx);
+    expectStateIdentical(Scalar, Batch, "trial " + std::to_string(Trial));
+    if (::testing::Test::HasFatalFailure())
+      return;
+  }
+  // The mutation mix must actually exercise both outcomes.
+  EXPECT_GT(Rejected, 50u);
+  EXPECT_GT(Processed, 50u);
+}
+
+//===----------------------------------------------------------------------===//
+// CacheBank execution modes: immediate vs serial batched vs threaded
+//===----------------------------------------------------------------------===//
+
+void addMixedBank(CacheBank &Bank) {
+  Bank.addConfig({.SizeBytes = 16 << 10, .BlockBytes = 32,
+                  .TrackPerBlockStats = true});
+  Bank.addConfig({.SizeBytes = 8 << 10, .BlockBytes = 64, .Ways = 2});
+  Bank.addConfig({.SizeBytes = 4 << 10, .BlockBytes = 16,
+                  .WriteMiss = WriteMissPolicy::FetchOnWrite,
+                  .WriteHit = WriteHitPolicy::WriteThrough});
+  Bank.addConfig({.SizeBytes = 64 << 10, .BlockBytes = 64});
+}
+
+/// Feeds the stream with a GC phase in the middle (markers flush the
+/// bank in every mode).
+void feedWithGcBoundary(CacheBank &Bank, const std::vector<Ref> &Stream) {
+  size_t Half = Stream.size() / 2;
+  for (size_t I = 0; I != Half; ++I)
+    Bank.onRef(Stream[I]);
+  Bank.onGcBegin();
+  for (size_t I = Half; I != Stream.size(); ++I)
+    Bank.onRef(Stream[I]);
+  Bank.onGcEnd();
+  Bank.flush();
+}
+
+TEST(BatchBank, ExecutionModesAreBitIdentical) {
+  std::vector<Ref> Stream = randomStream(60000, /*Seed=*/5);
+
+  CacheBank Immediate;
+  addMixedBank(Immediate);
+  ASSERT_FALSE(Immediate.batched());
+  feedWithGcBoundary(Immediate, Stream);
+
+  CacheBank Batched;
+  addMixedBank(Batched);
+  Batched.setBatched(true, /*BatchRefsWanted=*/1536);
+  ASSERT_TRUE(Batched.batched());
+  feedWithGcBoundary(Batched, Stream);
+
+  CacheBank Threaded;
+  addMixedBank(Threaded);
+  Threaded.setThreads(3, /*BatchRefs=*/1536);
+  feedWithGcBoundary(Threaded, Stream);
+  Threaded.setThreads(0);
+
+  for (size_t I = 0; I != Immediate.size(); ++I) {
+    std::string Where = Immediate.cache(I).config().label();
+    expectStateIdentical(Immediate.cache(I), Batched.cache(I),
+                         Where + " (serial batched)");
+    expectStateIdentical(Immediate.cache(I), Threaded.cache(I),
+                         Where + " (threaded)");
+  }
+  EXPECT_TRUE(Batched.auditAll().ok());
+}
+
+TEST(BatchBank, SetBatchedMidStreamDrainsPendingFirst) {
+  std::vector<Ref> Stream = randomStream(5000, /*Seed=*/23);
+  CacheBank Immediate;
+  addMixedBank(Immediate);
+  for (const Ref &R : Stream)
+    Immediate.onRef(R);
+
+  CacheBank Toggled;
+  addMixedBank(Toggled);
+  Toggled.setBatched(true, 512);
+  for (size_t I = 0; I != 2500; ++I)
+    Toggled.onRef(Stream[I]); // 2500 is not a batch boundary (4*512=2048)
+  Toggled.setBatched(false);  // must drain the 452 pending refs
+  for (size_t I = 2500; I != Stream.size(); ++I)
+    Toggled.onRef(Stream[I]);
+
+  for (size_t I = 0; I != Immediate.size(); ++I)
+    expectStateIdentical(Immediate.cache(I), Toggled.cache(I),
+                         Immediate.cache(I).config().label());
+}
+
+//===----------------------------------------------------------------------===//
+// --crosscheck and --audit semantics in batch mode
+//===----------------------------------------------------------------------===//
+
+TEST(BatchCrossCheck, CleanStreamPassesWithOraclesAttached) {
+  CacheBank Bank;
+  addMixedBank(Bank);
+  Bank.enableCrossCheck(1);
+  Bank.setBatched(true, 1024);
+  std::vector<Ref> Stream = randomStream(20000, /*Seed=*/31);
+  feedWithGcBoundary(Bank, Stream); // flush deep-compares vs the oracles
+  EXPECT_TRUE(Bank.crossCheckNow().ok());
+  EXPECT_TRUE(Bank.auditAll().ok());
+
+  // The cross-checked batch path must also still count correctly: compare
+  // against a plain immediate bank.
+  CacheBank Plain;
+  addMixedBank(Plain);
+  feedWithGcBoundary(Plain, Stream);
+  for (size_t I = 0; I != Bank.size(); ++I)
+    expectStateIdentical(Plain.cache(I), Bank.cache(I),
+                         Plain.cache(I).config().label());
+}
+
+TEST(BatchCrossCheck, CorruptedStateStillFiresInsideABatch) {
+  const CacheConfig Cfg{.SizeBytes = 1 << 10, .BlockBytes = 32};
+  Cache C(Cfg);
+  C.enableCrossCheck(1);
+  std::vector<Ref> Warm = randomStream(2000, /*Seed=*/41);
+  runBatched(C, Warm, 256); // falls back to the per-ref oracle path
+
+  // Corrupt a resident line's tag behind the oracle's back, then load a
+  // valid word of that line's *original* block: the corrupted cache
+  // misses where the oracle hits, so Divergence must be raised from
+  // inside BatchKernel::run, exactly as the scalar path would raise it.
+  const uint32_t NumSets = Cfg.SizeBytes / Cfg.BlockBytes; // direct-mapped
+  size_t Idx = SIZE_MAX;
+  for (size_t I = 0; I != CacheTestPeer::numLines(C); ++I)
+    if (CacheTestPeer::line(C, I).ValidMask != 0) {
+      Idx = I;
+      break;
+    }
+  ASSERT_NE(Idx, SIZE_MAX);
+  CacheTestPeer::Line &L = CacheTestPeer::line(C, Idx);
+  uint32_t ValidWord = 0;
+  while (!(L.ValidMask & (1ull << ValidWord)))
+    ++ValidWord;
+  Address BlockIdx = (L.Tag * NumSets) + static_cast<Address>(Idx);
+  Ref Poison{BlockIdx * Cfg.BlockBytes + ValidWord * 4, AccessKind::Load,
+             Phase::Mutator};
+  ASSERT_EQ(C.setIndexOf(Poison.Addr), static_cast<uint32_t>(Idx));
+  L.Tag ^= 0x5a;
+
+  RefColumns B;
+  B.push_back(Poison);
+  BatchIndex BatchIdx;
+  BatchIdx.reset(&B);
+  EXPECT_THROW(BatchKernel::run(C, B, BatchIdx), StatusError);
+}
+
+//===----------------------------------------------------------------------===//
+// Recorded traces: batched replay of a real program run
+//===----------------------------------------------------------------------===//
+
+/// Records one small nbody run (Cheney, small semispaces so the trace
+/// contains collector phases) once per process.
+const std::string &recordedTracePath() {
+  static const std::string Path = [] {
+    std::string P = tempPath("batch_nbody.gct");
+    std::string Mine = P + "." + std::to_string(::getpid());
+    TraceWriter W;
+    EXPECT_TRUE(W.open(Mine).ok());
+    ExperimentOptions O;
+    O.Scale = 0.05;
+    O.Gc = GcKind::Cheney;
+    O.SemispaceBytes = 512 << 10;
+    O.Grid = CacheGridKind::None;
+    O.ExtraSinks = {&W};
+    ProgramRun Run = runProgram(nbodyWorkload(), O);
+    EXPECT_GT(Run.Collections, 0u) << "trace must contain GC phases";
+    EXPECT_TRUE(W.close().ok());
+    EXPECT_EQ(std::rename(Mine.c_str(), P.c_str()), 0);
+    return P;
+  }();
+  return Path;
+}
+
+TEST(BatchRecordedTrace, BatchedReplayMatchesScalarReplay) {
+  CacheBank Scalar;
+  addMixedBank(Scalar);
+  CountingSink ScalarCounts;
+  Expected<ReplayCheckpointResult> A =
+      replayTraceCheckpointed(recordedTracePath(), Scalar, ScalarCounts, {});
+  ASSERT_TRUE(A.ok()) << A.status().message();
+
+  CacheBank Batched;
+  addMixedBank(Batched);
+  Batched.setBatched(true, 777);
+  CountingSink BatchedCounts;
+  Expected<ReplayCheckpointResult> B =
+      replayTraceCheckpointed(recordedTracePath(), Batched, BatchedCounts, {});
+  ASSERT_TRUE(B.ok()) << B.status().message();
+
+  EXPECT_EQ(A->RecordsReplayed, B->RecordsReplayed);
+  EXPECT_EQ(ScalarCounts.totalRefs(), BatchedCounts.totalRefs());
+  for (size_t I = 0; I != Scalar.size(); ++I)
+    expectStateIdentical(Scalar.cache(I), Batched.cache(I),
+                         Scalar.cache(I).config().label());
+}
+
+//===----------------------------------------------------------------------===//
+// Checkpoint/resume killed at every batch flush boundary
+//===----------------------------------------------------------------------===//
+
+/// Writes a small synthetic trace with refs, allocations, and GC phases.
+std::string makeSyntheticTrace(const char *Name, unsigned Refs) {
+  std::string Path = tempPath(std::string(Name) + "." +
+                              std::to_string(::getpid()) + ".gct");
+  TraceWriter W;
+  EXPECT_TRUE(W.open(Path).ok());
+  Rng R;
+  for (unsigned I = 0; I != Refs; ++I) {
+    W.onRef(randomRef(R));
+    if (I % 1000 == 999) {
+      W.onGcBegin();
+      for (int K = 0; K != 50; ++K) {
+        Ref G = randomRef(R);
+        G.ExecPhase = Phase::Collector;
+        W.onRef(G);
+      }
+      W.onGcEnd();
+    }
+    if (I % 300 == 299)
+      W.onAlloc(static_cast<Address>(R.next()), 16);
+  }
+  EXPECT_TRUE(W.close().ok());
+  return Path;
+}
+
+/// The kill-sweep trace: small enough that a replay per batch boundary is
+/// cheap, with GC markers and allocations interleaving the ref runs so
+/// batch flushes happen both at capacity and at markers.
+const std::string &killSweepTracePath() {
+  static const std::string Path = makeSyntheticTrace("batch_killsweep", 10000);
+  return Path;
+}
+
+void addSmallBank(CacheBank &Bank) {
+  Bank.addConfig({.SizeBytes = 16 << 10, .BlockBytes = 32,
+                  .TrackPerBlockStats = true});
+  Bank.addConfig({.SizeBytes = 64 << 10, .BlockBytes = 64});
+}
+
+void configureBankMode(CacheBank &Bank, bool Batched, size_t BatchRefs) {
+  if (Batched)
+    Bank.setBatched(true, BatchRefs);
+}
+
+/// Kills a checkpointed replay of the recorded trace after \p KillAfter
+/// records (checkpointing every \p BatchRefs records, i.e. at every batch
+/// flush), then resumes in fresh objects and checks against the clean
+/// state. KillBatched / ResumeBatched select the execution mode of each
+/// leg, so scalar-cut checkpoints resume into batched replay and vice
+/// versa.
+void killAndResume(uint64_t KillAfter, size_t BatchRefs, bool KillBatched,
+                   bool ResumeBatched, const CacheBank &CleanBank,
+                   const CountingSink &CleanCounts) {
+  std::string Snap = tempPath("batch_kill." + std::to_string(::getpid()) +
+                              ".snap");
+  std::remove(Snap.c_str());
+  SCOPED_TRACE("kill after record " + std::to_string(KillAfter) +
+               (KillBatched ? " batched" : " scalar") + " -> " +
+               (ResumeBatched ? "batched" : "scalar"));
+
+  ReplayCheckpointOptions Opts;
+  Opts.SnapshotPath = Snap;
+  Opts.EveryRefs = BatchRefs;
+  Opts.StopAfterRecords = KillAfter;
+  {
+    CacheBank Bank;
+    addSmallBank(Bank);
+    configureBankMode(Bank, KillBatched, BatchRefs);
+    CountingSink Counts;
+    Expected<ReplayCheckpointResult> R =
+        replayTraceCheckpointed(killSweepTracePath(), Bank, Counts, Opts);
+    ASSERT_FALSE(R.ok());
+    EXPECT_EQ(R.status().code(), StatusCode::Aborted);
+  }
+
+  CacheBank Bank;
+  addSmallBank(Bank);
+  configureBankMode(Bank, ResumeBatched, BatchRefs);
+  CountingSink Counts;
+  ReplayCheckpointOptions ResumeOpts;
+  ResumeOpts.SnapshotPath = Snap;
+  ResumeOpts.EveryRefs = BatchRefs;
+  ResumeOpts.Resume = true;
+  Expected<ReplayCheckpointResult> R =
+      replayTraceCheckpointed(killSweepTracePath(), Bank, Counts, ResumeOpts);
+  ASSERT_TRUE(R.ok()) << R.status().message();
+  ASSERT_EQ(CleanBank.size(), Bank.size());
+  for (size_t I = 0; I != CleanBank.size(); ++I)
+    expectStateIdentical(CleanBank.cache(I), Bank.cache(I),
+                         CleanBank.cache(I).config().label());
+  EXPECT_EQ(CleanCounts.totalRefs(), Counts.totalRefs());
+  EXPECT_EQ(CleanCounts.mutatorRefs(), Counts.mutatorRefs());
+  EXPECT_EQ(CleanCounts.collections(), Counts.collections());
+  std::remove(Snap.c_str());
+}
+
+TEST(BatchCheckpoint, KillAtEveryBatchFlushResumesBitIdentical) {
+  const size_t BatchRefs = 512;
+
+  // The scalar clean replay is the ground truth for every resumed run.
+  CacheBank CleanBank;
+  addSmallBank(CleanBank);
+  CountingSink CleanCounts;
+  Expected<ReplayCheckpointResult> Clean =
+      replayTraceCheckpointed(killSweepTracePath(), CleanBank, CleanCounts, {});
+  ASSERT_TRUE(Clean.ok()) << Clean.status().message();
+  uint64_t Records = Clean->RecordsReplayed;
+  ASSERT_GT(Records, 2 * BatchRefs) << "trace too short for a kill sweep";
+
+  // Kill at every batch flush boundary (checkpoints are cut every
+  // BatchRefs records, so each kill lands one batch after a cut) plus
+  // just before/after one boundary, batched killed and batched resumed.
+  for (uint64_t Kill = BatchRefs; Kill < Records; Kill += BatchRefs)
+    killAndResume(Kill, BatchRefs, /*KillBatched=*/true,
+                  /*ResumeBatched=*/true, CleanBank, CleanCounts);
+  killAndResume(BatchRefs + 1, BatchRefs, true, true, CleanBank, CleanCounts);
+  killAndResume(2 * BatchRefs - 1, BatchRefs, true, true, CleanBank,
+                CleanCounts);
+}
+
+TEST(BatchCheckpoint, CrossModeKillAndResumeAreBitIdentical) {
+  const size_t BatchRefs = 512;
+  CacheBank CleanBank;
+  addSmallBank(CleanBank);
+  CountingSink CleanCounts;
+  Expected<ReplayCheckpointResult> Clean =
+      replayTraceCheckpointed(killSweepTracePath(), CleanBank, CleanCounts, {});
+  ASSERT_TRUE(Clean.ok()) << Clean.status().message();
+  uint64_t Mid = (Clean->RecordsReplayed / (2 * BatchRefs)) * BatchRefs;
+  ASSERT_GT(Mid, 0u);
+
+  // A checkpoint cut by a batched replay must resume into a scalar
+  // replay bit-identically, and vice versa — the snapshot format cannot
+  // know which execution mode produced it.
+  killAndResume(Mid, BatchRefs, /*KillBatched=*/true, /*ResumeBatched=*/false,
+                CleanBank, CleanCounts);
+  killAndResume(Mid, BatchRefs, /*KillBatched=*/false, /*ResumeBatched=*/true,
+                CleanBank, CleanCounts);
+}
+
+//===----------------------------------------------------------------------===//
+// The batched trace reader and the --batch-stats engine
+//===----------------------------------------------------------------------===//
+
+
+TEST(BatchedReader, NextRefBatchDecodesTheExactRecordStream) {
+  std::string Path = makeSyntheticTrace("batch_reader", 5000);
+
+  // Ground truth: per-record decode.
+  std::vector<Ref> WantRefs;
+  std::vector<TraceRecord::Kind> WantOps;
+  {
+    TraceStream S;
+    ASSERT_TRUE(S.open(Path).ok());
+    TraceRecord Rec;
+    while (S.next(Rec)) {
+      WantOps.push_back(Rec.Op);
+      if (Rec.Op == TraceRecord::Kind::Ref)
+        WantRefs.push_back(Rec.R);
+    }
+  }
+
+  // Batched decode: runs of refs via nextRefBatch, markers via next().
+  TraceStream S;
+  ASSERT_TRUE(S.open(Path).ok());
+  std::vector<Ref> GotRefs;
+  uint64_t Others = 0;
+  RefColumns B;
+  TraceRecord Rec;
+  for (;;) {
+    B.clear();
+    size_t N = S.nextRefBatch(B, 257);
+    EXPECT_TRUE(BatchKernel::validate(B).ok());
+    for (size_t I = 0; I != N; ++I)
+      GotRefs.push_back(B.get(I));
+    if (N == 257)
+      continue;
+    if (!S.next(Rec))
+      break;
+    EXPECT_NE(Rec.Op, TraceRecord::Kind::Ref)
+        << "nextRefBatch must consume every run of refs completely";
+    ++Others;
+  }
+  ASSERT_EQ(WantRefs.size(), GotRefs.size());
+  for (size_t I = 0; I != WantRefs.size(); ++I) {
+    ASSERT_EQ(WantRefs[I].Addr, GotRefs[I].Addr) << "ref " << I;
+    ASSERT_EQ(WantRefs[I].Kind, GotRefs[I].Kind) << "ref " << I;
+    ASSERT_EQ(WantRefs[I].ExecPhase, GotRefs[I].ExecPhase) << "ref " << I;
+  }
+  EXPECT_EQ(Others, WantOps.size() - WantRefs.size());
+  EXPECT_EQ(S.recordIndex(), WantOps.size());
+  std::remove(Path.c_str());
+}
+
+TEST(BatchedReader, BatchStatsMatchAManualScan) {
+  std::string Path = makeSyntheticTrace("batch_stats", 4000);
+  const size_t Cap = 300;
+
+  // Manual segmentation from the per-record stream.
+  TraceBatchStats Want;
+  {
+    TraceStream S;
+    ASSERT_TRUE(S.open(Path).ok());
+    TraceRecord Rec;
+    uint64_t Run = 0;
+    auto CloseBatch = [&](bool CutByCap) {
+      if (Run == 0)
+        return;
+      ++Want.Batches;
+      if (CutByCap)
+        ++Want.FullBatches;
+      Want.MinBatch =
+          Want.Batches == 1 ? Run : std::min<uint64_t>(Want.MinBatch, Run);
+      Want.MaxBatch = std::max<uint64_t>(Want.MaxBatch, Run);
+      Run = 0;
+    };
+    while (S.next(Rec)) {
+      if (Rec.Op == TraceRecord::Kind::Ref) {
+        ++Want.Refs;
+        if (Rec.R.ExecPhase == Phase::Collector)
+          ++Want.CollectorRefs;
+        if (Rec.R.Kind == AccessKind::Store)
+          ++Want.Stores;
+        if (++Run == Cap)
+          CloseBatch(/*CutByCap=*/true);
+      } else {
+        ++Want.OtherRecords;
+        CloseBatch(/*CutByCap=*/false);
+      }
+    }
+    CloseBatch(false);
+    Want.Loads = Want.Refs - Want.Stores;
+    Want.MutatorRefs = Want.Refs - Want.CollectorRefs;
+  }
+
+  TraceStream S;
+  ASSERT_TRUE(S.open(Path).ok());
+  TraceBatchStats Got = collectTraceBatchStats(S, Cap);
+  EXPECT_EQ(Want.Refs, Got.Refs);
+  EXPECT_EQ(Want.OtherRecords, Got.OtherRecords);
+  EXPECT_EQ(Want.Batches, Got.Batches);
+  EXPECT_EQ(Want.FullBatches, Got.FullBatches);
+  EXPECT_EQ(Want.MinBatch, Got.MinBatch);
+  EXPECT_EQ(Want.MaxBatch, Got.MaxBatch);
+  EXPECT_EQ(Want.MutatorRefs, Got.MutatorRefs);
+  EXPECT_EQ(Want.CollectorRefs, Got.CollectorRefs);
+  EXPECT_EQ(Want.Loads, Got.Loads);
+  EXPECT_EQ(Want.Stores, Got.Stores);
+  EXPECT_GT(Got.Batches, 0u);
+  EXPECT_GT(Got.OtherRecords, 0u);
+  std::remove(Path.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// The Experiment wiring: batched runs equal per-reference runs
+//===----------------------------------------------------------------------===//
+
+TEST(BatchExperiment, BatchedRunMatchesScalarRun) {
+  ExperimentOptions Scalar;
+  Scalar.Scale = 0.05;
+  Scalar.Grid = CacheGridKind::SizeSweep;
+  Scalar.Batched = false;
+  ProgramRun A = runProgram(nbodyWorkload(), Scalar);
+
+  ExperimentOptions Batched = Scalar;
+  Batched.Batched = true;
+  Batched.BatchRefs = 4096;
+  ProgramRun B = runProgram(nbodyWorkload(), Batched);
+
+  ASSERT_EQ(A.Bank->size(), B.Bank->size());
+  EXPECT_EQ(A.TotalRefs, B.TotalRefs);
+  for (size_t I = 0; I != A.Bank->size(); ++I)
+    expectStateIdentical(A.Bank->cache(I), B.Bank->cache(I),
+                         A.Bank->cache(I).config().label());
+  // The returned bank must be back in immediate mode so callers can keep
+  // feeding it without flushing.
+  EXPECT_FALSE(B.Bank->batched());
+}
+
+} // namespace
